@@ -1,0 +1,32 @@
+"""Figure 4: matching ratio R vs average cut (avqsmall analogue).
+
+Paper shape to verify: the average cut trends downward as R decreases
+from 1.0, flattening out below ~0.5 — slower coarsening buys quality up
+to a point.
+"""
+
+from repro.harness import ascii_chart, figure4_ratio_tradeoff
+
+
+def test_fig4_ratio_tradeoff(benchmark, bench_params, save_table):
+    ratios = (1.0, 0.8, 0.6, 0.4, 0.2)
+    result = benchmark.pedantic(
+        figure4_ratio_tradeoff,
+        kwargs=dict(circuits=("avqsmall",),
+                    scale=bench_params["scale"],
+                    runs=bench_params["runs"],
+                    ratios=ratios,
+                    seed=bench_params["seed"]),
+        rounds=1, iterations=1)
+    save_table(result, "fig4.txt")
+
+    curve = {row[0]: row[1] for row in result.rows}
+    chart = ascii_chart(list(curve), {"avqsmall": list(curve.values())},
+                        width=50, height=10,
+                        title="Figure 4: matching ratio vs average cut",
+                        x_label="matching ratio R", y_label="avg cut")
+    print("\n" + chart)
+    print(f"avg-cut curve over R: {curve}")
+    # Endpoint comparison: the slow-coarsening end must not be worse
+    # than maximal matching by more than noise.
+    assert curve[0.4] <= curve[1.0] * 1.08

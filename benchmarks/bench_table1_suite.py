@@ -1,0 +1,20 @@
+"""Table I: benchmark circuit characteristics.
+
+Regenerates the suite's size table — the paper's spec values next to
+the synthetic stand-ins actually used at the benchmark scale — and
+times suite generation itself.
+"""
+
+from repro.harness import table1_characteristics
+from repro.hypergraph import benchmark_names
+
+
+def test_table1_suite(benchmark, bench_params, save_table):
+    result = benchmark.pedantic(
+        table1_characteristics,
+        kwargs=dict(circuits=benchmark_names(),
+                    scale=min(bench_params["scale"], 0.05),
+                    seed=bench_params["seed"]),
+        rounds=1, iterations=1)
+    assert len(result.rows) == 23
+    save_table(result, "table1.txt")

@@ -1,0 +1,25 @@
+"""Table II: FM with LIFO vs FIFO vs RANDOM gain buckets.
+
+Paper shape to verify: LIFO's average cut is far below FIFO's; RANDOM
+is on par with (or slightly better than) LIFO.
+"""
+
+from statistics import mean
+
+from repro.harness import table2_tiebreak
+
+
+def test_table2_tiebreak(benchmark, bench_params, save_table):
+    result = benchmark.pedantic(
+        table2_tiebreak,
+        kwargs=dict(scale=bench_params["scale"],
+                    runs=bench_params["runs"],
+                    seed=bench_params["seed"]),
+        rounds=1, iterations=1)
+    save_table(result, "table2.txt")
+
+    lifo_avg = mean(cells["LIFO"].avg_cut for cells in result.cells.values())
+    fifo_avg = mean(cells["FIFO"].avg_cut for cells in result.cells.values())
+    print(f"suite-mean avg cut: LIFO {lifo_avg:.1f} vs FIFO {fifo_avg:.1f} "
+          f"(paper: LIFO wins decisively)")
+    assert lifo_avg < fifo_avg

@@ -1,0 +1,29 @@
+"""Table III: FM vs CLIP (100-run protocol at reduced scale).
+
+Paper shape to verify: CLIP's average cut is below FM's, with CPU time
+of the same order.
+"""
+
+from statistics import mean
+
+from repro.harness import table3_fm_vs_clip
+
+
+def test_table3_fm_vs_clip(benchmark, bench_params, save_table):
+    result = benchmark.pedantic(
+        table3_fm_vs_clip,
+        kwargs=dict(scale=bench_params["scale"],
+                    runs=bench_params["runs"],
+                    seed=bench_params["seed"]),
+        rounds=1, iterations=1)
+    save_table(result, "table3.txt")
+
+    fm_avg = mean(cells["FM"].avg_cut for cells in result.cells.values())
+    clip_avg = mean(cells["CLIP"].avg_cut for cells in result.cells.values())
+    fm_cpu = sum(cells["FM"].cpu_seconds for cells in result.cells.values())
+    clip_cpu = sum(cells["CLIP"].cpu_seconds
+                   for cells in result.cells.values())
+    print(f"suite-mean avg cut: FM {fm_avg:.1f} vs CLIP {clip_avg:.1f}; "
+          f"CPU {fm_cpu:.1f}s vs {clip_cpu:.1f}s")
+    assert clip_avg <= fm_avg * 1.05
+    assert clip_cpu < fm_cpu * 4

@@ -1,0 +1,28 @@
+"""Table IV: CLIP vs ML_F vs ML_C with complete matching (R = 1).
+
+Paper shape to verify: ML_C produces the lowest average cuts, followed
+by ML_F, then CLIP; ML costs more CPU than flat CLIP.
+"""
+
+from statistics import mean
+
+from repro.harness import table4_ml_vs_clip
+
+
+def test_table4_ml_vs_clip(benchmark, bench_params, save_table):
+    result = benchmark.pedantic(
+        table4_ml_vs_clip,
+        kwargs=dict(scale=bench_params["scale"],
+                    runs=bench_params["runs"],
+                    seed=bench_params["seed"]),
+        rounds=1, iterations=1)
+    save_table(result, "table4.txt")
+
+    averages = {name: mean(cells[name].avg_cut
+                           for cells in result.cells.values())
+                for name in ("CLIP", "MLF", "MLC")}
+    print("suite-mean avg cut: "
+          + ", ".join(f"{k} {v:.1f}" for k, v in averages.items()))
+    # The multilevel variants must beat flat CLIP on average cut.
+    assert averages["MLC"] < averages["CLIP"]
+    assert averages["MLF"] < averages["CLIP"]

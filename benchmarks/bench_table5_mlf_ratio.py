@@ -1,0 +1,31 @@
+"""Table V: ML_F under matching ratios R in {1.0, 0.5, 0.33}.
+
+Paper shape to verify: smaller R (slower coarsening, more levels)
+lowers the average cut and raises CPU time; R = 0.5 and R = 0.33 are
+nearly indistinguishable in quality.
+"""
+
+from statistics import mean
+
+from repro.harness import table5_mlf_ratio
+
+
+def test_table5_mlf_ratio(benchmark, bench_params, save_table):
+    result = benchmark.pedantic(
+        table5_mlf_ratio,
+        kwargs=dict(scale=bench_params["scale"],
+                    runs=bench_params["runs"],
+                    seed=bench_params["seed"]),
+        rounds=1, iterations=1)
+    save_table(result, "table5.txt")
+
+    avg = {r: mean(cells[f"R={r:g}"].avg_cut
+                   for cells in result.cells.values())
+           for r in (1.0, 0.5, 0.33)}
+    cpu = {r: sum(cells[f"R={r:g}"].cpu_seconds
+                  for cells in result.cells.values())
+           for r in (1.0, 0.5, 0.33)}
+    print(f"suite-mean avg cut by R: {avg}; total CPU by R: {cpu}")
+    # Slower coarsening must not hurt quality and must cost more time.
+    assert avg[0.5] <= avg[1.0] * 1.05
+    assert cpu[0.33] > cpu[1.0]

@@ -1,0 +1,30 @@
+"""Table VI: ML_C under matching ratios R in {1.0, 0.5, 0.33}.
+
+Same sweep as Table V with the CLIP refinement engine; the paper notes
+the gap between ML_F and ML_C narrows as R decreases (extra levels give
+an inferior engine more opportunities).
+"""
+
+from statistics import mean
+
+from repro.harness import table6_mlc_ratio
+
+
+def test_table6_mlc_ratio(benchmark, bench_params, save_table):
+    result = benchmark.pedantic(
+        table6_mlc_ratio,
+        kwargs=dict(scale=bench_params["scale"],
+                    runs=bench_params["runs"],
+                    seed=bench_params["seed"]),
+        rounds=1, iterations=1)
+    save_table(result, "table6.txt")
+
+    avg = {r: mean(cells[f"R={r:g}"].avg_cut
+                   for cells in result.cells.values())
+           for r in (1.0, 0.5, 0.33)}
+    cpu = {r: sum(cells[f"R={r:g}"].cpu_seconds
+                  for cells in result.cells.values())
+           for r in (1.0, 0.5, 0.33)}
+    print(f"suite-mean avg cut by R: {avg}; total CPU by R: {cpu}")
+    assert avg[0.5] <= avg[1.0] * 1.05
+    assert cpu[0.33] > cpu[1.0]

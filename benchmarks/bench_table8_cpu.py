@@ -1,0 +1,27 @@
+"""Table VIII: CPU-time comparison.
+
+Our reimplemented algorithms are timed on this host; published Sparc-
+era seconds are shown alongside for the same circuit names.  Paper
+shape to verify: PROP costs a multiple of FM (the paper reports 4-8x),
+and LSMC with d descents costs roughly d FM runs.
+"""
+
+from repro.harness import table8_cpu
+
+
+def test_table8_cpu(benchmark, bench_params, save_table):
+    result = benchmark.pedantic(
+        table8_cpu,
+        kwargs=dict(scale=bench_params["scale"],
+                    runs=bench_params["runs"],
+                    lsmc_descents=8,
+                    seed=bench_params["seed"]),
+        rounds=1, iterations=1)
+    save_table(result, "table8.txt")
+
+    fm = sum(cells["FM"].cpu_seconds for cells in result.cells.values())
+    prop = sum(cells["PROP"].cpu_seconds for cells in result.cells.values())
+    lsmc = sum(cells["LSMC"].cpu_seconds for cells in result.cells.values())
+    print(f"total CPU: FM {fm:.1f}s, PROP {prop:.1f}s, LSMC {lsmc:.1f}s")
+    assert prop > fm            # non-discrete gains cost real time
+    assert lsmc > 3 * fm        # 8 descents >> 1 FM run

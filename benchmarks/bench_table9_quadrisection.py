@@ -1,0 +1,32 @@
+"""Table IX: 4-way partitioning comparisons.
+
+ML_F quadrisection (R = 1.0, T = 100, sum-of-degrees gain) against the
+GORDIAN quadratic-placement simulator, flat FM4/CLIP4, and 4-way LSMC.
+Paper shape to verify: ML_F's minimum and average cuts beat GORDIAN's
+split and the flat engines.
+"""
+
+from statistics import mean
+
+from repro.harness import table9_quadrisection
+
+
+def test_table9_quadrisection(benchmark, bench_params, save_table):
+    result = benchmark.pedantic(
+        table9_quadrisection,
+        kwargs=dict(circuits=("primary2", "biomed"),
+                    scale=bench_params["scale"],
+                    runs=2,
+                    lsmc_descents=3,
+                    seed=bench_params["seed"]),
+        rounds=1, iterations=1)
+    save_table(result, "table9.txt")
+
+    ml = mean(cells["MLF4"].min_cut for cells in result.cells.values())
+    gordian = mean(cells["GORDIAN"].min_cut
+                   for cells in result.cells.values())
+    fm4 = mean(cells["FM4"].min_cut for cells in result.cells.values())
+    print(f"suite-mean min cut: MLF4 {ml:.1f}, GORDIAN {gordian:.1f}, "
+          f"FM4 {fm4:.1f}")
+    assert ml < gordian
+    assert ml <= fm4

@@ -1,0 +1,43 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures at reduced
+scale (see DESIGN.md) and both prints it and writes it under
+``benchmarks/results/``.  Environment knobs:
+
+* ``REPRO_BENCH_SCALE``  — size multiplier on Table I circuits
+  (default 0.1; the paper's full scale is 1.0)
+* ``REPRO_BENCH_RUNS``   — runs per cell (default 5; the paper uses 100)
+* ``REPRO_BENCH_SEED``   — top-level seed (default 0)
+
+Raising scale/runs toward paper settings is supported but slow in pure
+Python (the repro band for this paper notes exactly this).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "5"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def bench_params():
+    return {"scale": BENCH_SCALE, "runs": BENCH_RUNS, "seed": BENCH_SEED}
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Print a rendered TableResult and persist it to results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(result, filename: str) -> None:
+        text = result.render()
+        print("\n" + text + "\n")
+        (RESULTS_DIR / filename).write_text(text + "\n")
+
+    return _save

@@ -1,0 +1,63 @@
+"""Working with your own netlists: build, save, load, partition.
+
+Shows the three ways to get a netlist into the library —
+HypergraphBuilder with named modules, the hMETIS exchange format
+(compatible with the real ACM/SIGDA benchmark conversions), and the
+JSON container — and runs the full ML partitioner on the result.
+
+Run:  python examples/custom_netlist_io.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (HypergraphBuilder, MLConfig, ml_bipartition,
+                   read_hmetis, write_hmetis)
+
+
+def build_half_adder_array(copies: int = 60) -> "object":
+    """A toy structural netlist: a chain of half-adder-ish cells.
+
+    Demonstrates named modules and per-module areas; each cell has an
+    XOR (area 2), an AND (area 1), and nets wiring it to the next cell.
+    """
+    builder = HypergraphBuilder(name="adder_chain")
+    for i in range(copies):
+        xor = f"u{i}_xor"
+        and_ = f"u{i}_and"
+        builder.add_module(xor, area=2.0)
+        builder.add_module(and_, area=1.0)
+        # local nets inside the cell
+        builder.add_net([xor, and_])
+        if i > 0:
+            # carry chain to the previous cell
+            builder.add_net([f"u{i - 1}_and", xor, and_])
+    # a clock-like global net touching every XOR (large fanout)
+    builder.add_net([f"u{i}_xor" for i in range(copies)])
+    return builder.build()
+
+
+def main() -> None:
+    netlist = build_half_adder_array()
+    print(f"built: {netlist.num_modules} modules, {netlist.num_nets} nets, "
+          f"total area {netlist.total_area:g}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "adder_chain.hgr"
+        write_hmetis(netlist, path)
+        print(f"wrote hMETIS file: {path.name} "
+              f"({path.stat().st_size} bytes)")
+        loaded = read_hmetis(path)
+        assert loaded.num_nets == netlist.num_nets
+
+    result = ml_bipartition(loaded, config=MLConfig(engine="clip"), seed=3)
+    areas = [round(a, 1) for a in result.partition.part_areas(loaded)]
+    print(f"\nML_C bipartition: cut = {result.cut}, "
+          f"side areas = {areas}")
+    print("note: the 60-pin clock net is ignored during refinement "
+          "only if it exceeds max_net_size; it is always counted in "
+          "the reported cut.")
+
+
+if __name__ == "__main__":
+    main()

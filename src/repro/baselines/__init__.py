@@ -1,0 +1,30 @@
+"""Comparator algorithms: LSMC, two-phase FM, spectral bisection, the
+GORDIAN quadratic-placement simulator, and the PROP probabilistic-gain
+engine."""
+
+from .gordian import (GordianResult, gordian_bipartition,
+                      gordian_quadrisection, perimeter_positions,
+                      quadratic_placement)
+from .lsmc import LSMCResult, kick, lsmc_bipartition, lsmc_kway
+from .prop import INITIAL_MOVE_PROBABILITY, prop_bipartition
+from .spectral import (clique_laplacian, fiedler_vector,
+                       spectral_bipartition)
+from .twophase import two_phase_fm
+
+__all__ = [
+    "LSMCResult",
+    "lsmc_bipartition",
+    "lsmc_kway",
+    "kick",
+    "two_phase_fm",
+    "spectral_bipartition",
+    "fiedler_vector",
+    "clique_laplacian",
+    "GordianResult",
+    "gordian_bipartition",
+    "gordian_quadrisection",
+    "quadratic_placement",
+    "perimeter_positions",
+    "prop_bipartition",
+    "INITIAL_MOVE_PROBABILITY",
+]

@@ -1,0 +1,286 @@
+"""Command-line interface.
+
+Three subcommands make the library usable without writing Python:
+
+* ``repro info FILE``       — print a netlist's size characteristics
+* ``repro generate NAME``   — emit a synthetic Table I stand-in (hMETIS)
+* ``repro partition FILE``  — partition a netlist and report the cut
+
+``FILE`` is hMETIS (``.hgr``) or this library's JSON container
+(``.json``), auto-detected by extension.
+
+Examples::
+
+    repro generate s9234 --scale 0.1 -o s9234.hgr
+    repro info s9234.hgr
+    repro partition s9234.hgr --algorithm mlc -R 0.5 --runs 10
+    repro partition s9234.hgr -k 4 --algorithm mlf --output parts.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .baselines.lsmc import lsmc_bipartition
+from .baselines.spectral import spectral_bipartition
+from .core.config import MLConfig
+from .core.ml import ml_bipartition
+from .core.quadrisection import ml_kway
+from .core.vcycle import ml_vcycle
+from .errors import ReproError
+from .hypergraph import (Hypergraph, benchmark_names, compute_stats,
+                         load_circuit, read_hmetis, read_json,
+                         write_hmetis, write_json)
+from .partition import (BalanceConstraint, cut, read_assignment,
+                        summarize, write_assignment)
+from .rng import child_seeds
+from .fm.config import FMConfig
+from .fm.engine import fm_bipartition
+
+__all__ = ["main", "build_parser"]
+
+ALGORITHMS = ("mlc", "mlf", "fm", "clip", "lsmc", "spectral")
+
+
+def _read_netlist(path: str) -> Hypergraph:
+    if path.endswith(".json"):
+        return read_json(path)
+    return read_hmetis(path)
+
+
+def _single_run(algorithm: str, hg: Hypergraph, k: int, ratio: float,
+                threshold: int, tolerance: float, descents: int,
+                seed: int, vcycles: int = 0):
+    fm_config = FMConfig(tolerance=tolerance)
+    if k != 2:
+        if algorithm not in ("mlc", "mlf"):
+            raise ReproError(
+                f"k={k} requires a multilevel algorithm (mlc/mlf), "
+                f"got {algorithm!r}")
+        config = MLConfig(engine="clip" if algorithm == "mlc" else "fm",
+                          matching_ratio=ratio,
+                          coarsening_threshold=max(threshold, k),
+                          fm=fm_config)
+        return ml_kway(hg, k=k, config=config, seed=seed)
+    if algorithm in ("mlc", "mlf"):
+        config = MLConfig(engine="clip" if algorithm == "mlc" else "fm",
+                          matching_ratio=ratio,
+                          coarsening_threshold=threshold,
+                          fm=fm_config)
+        if vcycles > 0:
+            return ml_vcycle(hg, cycles=vcycles, config=config, seed=seed)
+        return ml_bipartition(hg, config=config, seed=seed)
+    if algorithm == "fm":
+        return fm_bipartition(hg, config=fm_config, seed=seed)
+    if algorithm == "clip":
+        return fm_bipartition(
+            hg, config=FMConfig(clip=True, tolerance=tolerance), seed=seed)
+    if algorithm == "lsmc":
+        return lsmc_bipartition(hg, descents=descents, config=fm_config,
+                                seed=seed)
+    if algorithm == "spectral":
+        return spectral_bipartition(hg, config=fm_config, seed=seed)
+    raise ReproError(f"unknown algorithm {algorithm!r}")
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    hg = _read_netlist(args.file)
+    stats = compute_stats(hg)
+    print(f"name:          {stats.name or Path(args.file).stem}")
+    print(f"modules:       {stats.modules}")
+    print(f"nets:          {stats.nets}")
+    print(f"pins:          {stats.pins}")
+    print(f"mean net size: {stats.mean_net_size:.2f} "
+          f"(max {stats.max_net_size})")
+    print(f"mean degree:   {stats.mean_degree:.2f} (max {stats.max_degree})")
+    print(f"total area:    {stats.total_area:g} (max module "
+          f"{stats.max_area:g})")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    hg = load_circuit(args.name, scale=args.scale, seed=args.seed)
+    out = args.output or f"{args.name}.hgr"
+    if out.endswith(".json"):
+        write_json(hg, out)
+    else:
+        write_hmetis(hg, out)
+    print(f"wrote {out}: {hg.num_modules} modules, {hg.num_nets} nets, "
+          f"{hg.num_pins} pins (stand-in for {args.name} at scale "
+          f"{args.scale:g})")
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    hg = _read_netlist(args.file)
+    seeds = child_seeds(args.seed, args.runs)
+    best = None
+    cuts: List[int] = []
+    start = time.perf_counter()
+    for s in seeds:
+        result = _single_run(args.algorithm, hg, args.k, args.ratio,
+                             args.threshold, args.tolerance,
+                             args.descents, s, vcycles=args.vcycles)
+        cuts.append(result.cut)
+        if best is None or result.cut < best.cut:
+            best = result
+    elapsed = time.perf_counter() - start
+
+    assert best is not None
+    partition = best.partition
+    constraint = BalanceConstraint.from_tolerance(hg, args.tolerance,
+                                                  k=args.k)
+    areas = partition.part_areas(hg)
+    print(f"algorithm:  {args.algorithm} (k={args.k}, runs={args.runs})")
+    print(f"min cut:    {min(cuts)}")
+    if args.runs > 1:
+        print(f"avg cut:    {sum(cuts) / len(cuts):.1f}")
+        print(f"all cuts:   {cuts}")
+    print(f"part areas: {[round(a, 2) for a in areas]} "
+          f"(bounds [{constraint.lower:.1f}, {constraint.upper:.1f}], "
+          f"feasible: {constraint.is_feasible(areas)})")
+    print(f"cpu:        {elapsed:.2f}s")
+    assert cut(hg, partition) == best.cut
+
+    if args.output:
+        write_assignment(partition, args.output)
+        print(f"assignment written to {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    hg = _read_netlist(args.file)
+    partition = read_assignment(args.assignment,
+                                num_modules=hg.num_modules)
+    summary = summarize(hg, partition, tolerance=args.tolerance)
+    print(f"k:           {summary['k']}")
+    print(f"cut:         {summary['cut']}")
+    print(f"soed:        {summary['soed']}")
+    print(f"absorption:  {summary['absorption']:.2f} "
+          f"(of {hg.total_net_weight})")
+    if "ratio_cut" in summary:
+        print(f"ratio cut:   {summary['ratio_cut']:.3e}")
+    if "scaled_cost" in summary:
+        print(f"scaled cost: {summary['scaled_cost']:.3e}")
+    areas = summary["part_areas"]
+    print(f"part areas:  {[round(a, 2) for a in areas]}")
+    print(f"balanced:    {summary['balanced']} "
+          f"(r = {args.tolerance})")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .harness import (figure4_ratio_tradeoff, table1_characteristics,
+                          table2_tiebreak, table3_fm_vs_clip,
+                          table4_ml_vs_clip, table5_mlf_ratio,
+                          table6_mlc_ratio, table7_comparison, table8_cpu,
+                          table9_quadrisection)
+    generators = {
+        "1": lambda: table1_characteristics(scale=args.scale,
+                                            seed=args.seed),
+        "2": lambda: table2_tiebreak(scale=args.scale, runs=args.runs,
+                                     seed=args.seed),
+        "3": lambda: table3_fm_vs_clip(scale=args.scale, runs=args.runs,
+                                       seed=args.seed),
+        "4": lambda: table4_ml_vs_clip(scale=args.scale, runs=args.runs,
+                                       seed=args.seed),
+        "5": lambda: table5_mlf_ratio(scale=args.scale, runs=args.runs,
+                                      seed=args.seed),
+        "6": lambda: table6_mlc_ratio(scale=args.scale, runs=args.runs,
+                                      seed=args.seed),
+        "7": lambda: table7_comparison(scale=args.scale, runs=args.runs,
+                                       seed=args.seed),
+        "8": lambda: table8_cpu(scale=args.scale, runs=args.runs,
+                                seed=args.seed),
+        "9": lambda: table9_quadrisection(scale=args.scale,
+                                          runs=max(1, args.runs // 2),
+                                          seed=args.seed),
+        "fig4": lambda: figure4_ratio_tradeoff(scale=args.scale,
+                                               runs=args.runs,
+                                               seed=args.seed),
+    }
+    print(generators[args.table]().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multilevel circuit partitioning "
+                    "(Alpert/Huang/Kahng 1997 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="print netlist characteristics")
+    p_info.add_argument("file")
+    p_info.set_defaults(fn=_cmd_info)
+
+    p_gen = sub.add_parser("generate",
+                           help="generate a synthetic suite circuit")
+    p_gen.add_argument("name", choices=benchmark_names())
+    p_gen.add_argument("--scale", type=float, default=1.0)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("-o", "--output", default=None,
+                       help="output path (.hgr or .json)")
+    p_gen.set_defaults(fn=_cmd_generate)
+
+    p_part = sub.add_parser("partition", help="partition a netlist")
+    p_part.add_argument("file")
+    p_part.add_argument("--algorithm", choices=ALGORITHMS, default="mlc")
+    p_part.add_argument("-k", type=int, default=2,
+                        help="number of parts (k>2 needs mlc/mlf)")
+    p_part.add_argument("-R", "--ratio", type=float, default=0.5,
+                        help="matching ratio for ML (paper: 0.5)")
+    p_part.add_argument("-T", "--threshold", type=int, default=35,
+                        help="coarsening threshold for ML (paper: 35)")
+    p_part.add_argument("--tolerance", type=float, default=0.1,
+                        help="balance tolerance r (paper: 0.1)")
+    p_part.add_argument("--runs", type=int, default=1)
+    p_part.add_argument("--descents", type=int, default=20,
+                        help="LSMC descent count")
+    p_part.add_argument("--vcycles", type=int, default=0,
+                        help="extra restricted V-cycles after ML (k=2, "
+                             "mlc/mlf only)")
+    p_part.add_argument("--seed", type=int, default=0)
+    p_part.add_argument("--output", default=None,
+                        help="write the per-module part assignment here")
+    p_part.set_defaults(fn=_cmd_partition)
+
+    p_eval = sub.add_parser(
+        "evaluate", help="score an existing partition assignment")
+    p_eval.add_argument("file", help="the netlist (.hgr/.json)")
+    p_eval.add_argument("assignment",
+                        help="one part id per line, one line per module")
+    p_eval.add_argument("--tolerance", type=float, default=0.1)
+    p_eval.set_defaults(fn=_cmd_evaluate)
+
+    p_bench = sub.add_parser(
+        "bench", help="regenerate one of the paper's tables/figures")
+    p_bench.add_argument("table",
+                         choices=["1", "2", "3", "4", "5", "6", "7", "8",
+                                  "9", "fig4"])
+    p_bench.add_argument("--scale", type=float, default=0.1)
+    p_bench.add_argument("--runs", type=int, default=5)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.set_defaults(fn=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

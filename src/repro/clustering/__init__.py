@@ -1,0 +1,18 @@
+"""Coarsening substrate: the Match procedure, Induce (Definition 1),
+Project (Definition 2), and the clustering value object."""
+
+from .clustering import Clustering
+from .induce import induce
+from .matching import (DEFAULT_MAX_CONN_NET_SIZE, MATCHING_SCHEMES,
+                       connectivity, match)
+from .project import project
+
+__all__ = [
+    "Clustering",
+    "match",
+    "connectivity",
+    "MATCHING_SCHEMES",
+    "DEFAULT_MAX_CONN_NET_SIZE",
+    "induce",
+    "project",
+]

@@ -1,0 +1,140 @@
+"""The ML multilevel partitioning algorithm (Figure 2).
+
+``ML`` coarsens the netlist with ``Match``/``Induce`` while it has more
+than ``T`` modules, partitions the coarsest netlist with
+``FMPartition`` from a random start, then uncoarsens with
+``Project`` + ``FMPartition`` refinement at every level.  The matching
+ratio ``R`` controls coarsening speed and therefore the number of
+levels — the paper's key mechanism for giving the refinement engine
+more opportunities (Section III).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..clustering import Clustering, induce, match
+from ..errors import ClusteringError
+from ..hypergraph import Hypergraph
+from ..partition import Partition, cut
+from ..rng import SeedLike, make_rng
+from ..fm.clip import clip_bipartition  # noqa: F401  (re-export convenience)
+from ..fm.engine import fm_bipartition
+from ..clustering.project import project
+from .config import MLConfig
+
+__all__ = ["MLResult", "ml_bipartition", "build_hierarchy", "Hierarchy"]
+
+
+@dataclass
+class Hierarchy:
+    """The coarsening hierarchy ``H_0 .. H_m`` with its clusterings.
+
+    ``netlists[i+1]`` is induced from ``netlists[i]`` by
+    ``clusterings[i]``; ``len(netlists) == len(clusterings) + 1``.
+    """
+
+    netlists: List[Hypergraph]
+    clusterings: List[Clustering]
+
+    @property
+    def levels(self) -> int:
+        """``m``: the number of coarsening steps taken."""
+        return len(self.clusterings)
+
+    @property
+    def coarsest(self) -> Hypergraph:
+        return self.netlists[-1]
+
+    def module_counts(self) -> List[int]:
+        """``|V_i|`` per level, finest first."""
+        return [h.num_modules for h in self.netlists]
+
+
+@dataclass
+class MLResult:
+    """Outcome of one ML run."""
+
+    partition: Partition
+    cut: int
+    levels: int
+    level_sizes: List[int]
+    level_cuts: List[int] = field(default_factory=list)
+    total_passes: int = 0
+
+
+def build_hierarchy(hg: Hypergraph, config: Optional[MLConfig] = None,
+                    seed: SeedLike = None,
+                    rng: Optional[random.Random] = None) -> Hierarchy:
+    """The coarsening phase (Steps 1-5 of Figure 2).
+
+    Coarsening stops at ``T`` modules, at ``max_levels``, or when a
+    matching step fails to shrink the netlist (which can happen when
+    every remaining module is isolated from the others — continuing
+    would loop forever).
+    """
+    config = config or MLConfig()
+    rng = rng if rng is not None else make_rng(seed)
+    netlists = [hg]
+    clusterings: List[Clustering] = []
+    while (netlists[-1].num_modules > config.coarsening_threshold
+           and len(clusterings) < config.max_levels):
+        current = netlists[-1]
+        clustering = match(current, ratio=config.matching_ratio,
+                           scheme=config.matching_scheme, rng=rng)
+        if clustering.num_clusters >= current.num_modules:
+            break  # no progress: all modules became singletons
+        netlists.append(induce(current, clustering))
+        clusterings.append(clustering)
+    return Hierarchy(netlists=netlists, clusterings=clusterings)
+
+
+def ml_bipartition(hg: Hypergraph,
+                   config: Optional[MLConfig] = None,
+                   seed: SeedLike = None,
+                   rng: Optional[random.Random] = None) -> MLResult:
+    """Run the ML multilevel bipartitioning algorithm of Figure 2.
+
+    Returns the refined bipartitioning ``P_0`` of the input netlist; its
+    ``cut`` is measured over all nets of ``hg`` (including any the
+    refinement engine ignored for size).
+    """
+    config = config or MLConfig()
+    rng = rng if rng is not None else make_rng(seed)
+    if hg.num_modules < 2:
+        raise ClusteringError("cannot bipartition fewer than two modules")
+    fm_config = config.engine_config()
+
+    hierarchy = build_hierarchy(hg, config, rng=rng)
+
+    # Step 6: initial partitioning of the coarsest netlist — optionally
+    # several independent starts, keeping the best (Section V).
+    result = fm_bipartition(hierarchy.coarsest, initial=None,
+                            config=fm_config, rng=rng)
+    total_passes = result.passes
+    for _ in range(config.coarsest_starts - 1):
+        attempt = fm_bipartition(hierarchy.coarsest, initial=None,
+                                 config=fm_config, rng=rng)
+        total_passes += attempt.passes
+        if attempt.cut < result.cut:
+            result = attempt
+    level_cuts = [result.cut]
+
+    # Steps 7-9: project and refine, coarsest-to-finest.
+    solution = result.partition
+    for i in range(hierarchy.levels - 1, -1, -1):
+        projected = project(solution, hierarchy.clusterings[i])
+        result = fm_bipartition(hierarchy.netlists[i], initial=projected,
+                                config=fm_config, rng=rng)
+        solution = result.partition
+        level_cuts.append(result.cut)
+        total_passes += result.passes
+
+    return MLResult(partition=solution,
+                    cut=cut(hg, solution),
+                    levels=hierarchy.levels,
+                    level_sizes=hierarchy.module_counts(),
+                    level_cuts=level_cuts,
+                    total_passes=total_passes)

@@ -1,0 +1,94 @@
+"""Recursive bisection: k-way partitioning via repeated ML bipartition.
+
+The paper partitions 4 ways *directly* with Sanchis multi-way FM
+(Section III-C); the classical alternative — used by hMETIS-era tools —
+is to bisect recursively.  This module provides that alternative so the
+two strategies can be compared (see ``benchmarks/bench_ablations.py``):
+each side of a bisection becomes an independent subproblem over the
+sub-netlist of nets falling wholly inside it (crossing nets are already
+paid for and cannot be un-cut by deeper levels).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..errors import PartitionError
+from ..hypergraph import Hypergraph
+from ..partition import Partition
+from ..rng import SeedLike, make_rng
+from .config import MLConfig
+from .ml import ml_bipartition
+
+__all__ = ["recursive_bisection"]
+
+
+def _subcircuit(hg: Hypergraph,
+                modules: List[int]) -> Tuple[Hypergraph, List[int]]:
+    """Sub-netlist over ``modules`` with the nets wholly inside it."""
+    local = {v: i for i, v in enumerate(modules)}
+    nets = []
+    weights = []
+    for e in hg.all_nets():
+        pins = hg.pins(e)
+        mapped = [local[v] for v in pins if v in local]
+        if len(mapped) == len(pins):
+            nets.append(mapped)
+            weights.append(hg.net_weight(e))
+    sub = Hypergraph(nets, num_modules=len(modules),
+                     areas=[hg.area(v) for v in modules],
+                     net_weights=weights, name=f"{hg.name}/sub")
+    return sub, modules
+
+
+def recursive_bisection(hg: Hypergraph,
+                        k: int = 4,
+                        config: Optional[MLConfig] = None,
+                        seed: SeedLike = None,
+                        rng: Optional[random.Random] = None) -> Partition:
+    """Partition ``hg`` into ``k`` (a power of two) parts recursively.
+
+    Each bisection runs the full ML multilevel algorithm on its
+    subproblem.  Part numbering follows the recursion: the first half
+    of the split receives the lower part indices.
+    """
+    if k < 2 or k & (k - 1):
+        raise PartitionError(
+            f"recursive_bisection needs k a power of two >= 2, got {k}")
+    if hg.num_modules < k:
+        raise PartitionError(
+            f"cannot {k}-way partition {hg.num_modules} modules")
+    config = config or MLConfig()
+    rng = rng if rng is not None else make_rng(seed)
+
+    assignment = [0] * hg.num_modules
+
+    def split(sub: Hypergraph, globals_: List[int], base: int,
+              parts: int) -> None:
+        if parts == 1:
+            for v in globals_:
+                assignment[v] = base
+            return
+        if sub.num_modules <= parts:
+            # Degenerate subproblem: spread the modules round-robin.
+            for i, v in enumerate(globals_):
+                assignment[v] = base + (i % parts)
+            return
+        result = ml_bipartition(sub, config=config, rng=rng)
+        sides: List[List[int]] = [[], []]
+        for local, part in enumerate(result.partition.assignment):
+            sides[part].append(local)
+        for side, offset in ((0, 0), (1, parts // 2)):
+            picked = [globals_[local] for local in sides[side]]
+            if not picked:
+                continue
+            if parts // 2 == 1:
+                for v in picked:
+                    assignment[v] = base + offset
+            else:
+                deeper, mapping = _subcircuit(hg, picked)
+                split(deeper, mapping, base + offset, parts // 2)
+
+    split(hg, list(hg.modules()), 0, k)
+    return Partition(assignment, k)

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one type to handle any
+library-level failure while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class HypergraphError(ReproError):
+    """Raised for structurally invalid hypergraphs or invalid construction."""
+
+
+class ParseError(ReproError):
+    """Raised when a netlist file cannot be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class PartitionError(ReproError):
+    """Raised for invalid partitioning solutions or infeasible constraints."""
+
+
+class BalanceError(PartitionError):
+    """Raised when balance constraints cannot be satisfied at all."""
+
+
+class ClusteringError(ReproError):
+    """Raised for invalid clusterings (overlapping or incomplete clusters)."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid algorithm configuration values."""

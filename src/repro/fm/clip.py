@@ -1,0 +1,44 @@
+"""CLIP — Cluster-oriented Iterative-improvement Partitioner [14].
+
+CLIP is FM with one preprocessing step per pass: after initial gains
+are computed, every bucket is concatenated (best gain first) into the
+zero bucket and the bucket index range doubles, so from then on a
+module's bucket position equals its accumulated gain *change* since the
+pass began.  The effect is that adjacency to recently-moved modules
+dominates selection — clusters get dragged across the cut line together
+(Section II-B; Table III shows ~18% average-cut improvement over FM).
+
+The mechanism itself lives inside :func:`repro.fm.fm_bipartition`
+(``FMConfig(clip=True)``); this module provides the named entry point
+used throughout the benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Optional
+
+from ..hypergraph import Hypergraph
+from ..partition import BalanceConstraint, Partition
+from ..rng import SeedLike
+from .config import FMConfig
+from .engine import FMResult, fm_bipartition
+
+__all__ = ["clip_bipartition", "clip_config"]
+
+
+def clip_config(base: Optional[FMConfig] = None) -> FMConfig:
+    """A copy of ``base`` (default :class:`FMConfig`) with CLIP enabled."""
+    return replace(base or FMConfig(), clip=True)
+
+
+def clip_bipartition(hg: Hypergraph,
+                     initial: Optional[Partition] = None,
+                     config: Optional[FMConfig] = None,
+                     balance: Optional[BalanceConstraint] = None,
+                     seed: SeedLike = None,
+                     rng: Optional[random.Random] = None) -> FMResult:
+    """Run the CLIP algorithm (FM with CLIP bucket preprocessing)."""
+    return fm_bipartition(hg, initial=initial, config=clip_config(config),
+                          balance=balance, seed=seed, rng=rng)

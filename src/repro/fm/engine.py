@@ -1,0 +1,373 @@
+"""The Fiduccia–Mattheyses bipartitioning engine.
+
+Implements classic FM (Section I) with the paper's specifics:
+
+* gain buckets with a configurable LIFO/FIFO/RANDOM discipline
+  (Section II-A, Table II),
+* optional CLIP preprocessing of each pass (Section II-B, Table III),
+* balance bounds ``A(V)/2 ± max(A(v*), r·A(V))`` (Section III-B),
+* nets larger than ``max_net_size`` (200) excluded from refinement but
+  re-included when quality is measured,
+* rebalancing of infeasible initial solutions by random moves.
+
+A *pass* moves previously-unmoved modules one at a time, always taking
+the highest-gain balance-feasible module, and finally rolls the solution
+back to the best prefix of the pass.  Passes repeat until one fails to
+improve the cut.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import PartitionError
+from ..hypergraph import Hypergraph
+from ..partition import (BalanceConstraint, Partition, PartitionState, cut,
+                         random_partition)
+from ..partition.rebalance import rebalance_random
+from ..rng import SeedLike, make_rng
+from .buckets import make_buckets
+from .config import FMConfig
+
+__all__ = ["FMResult", "fm_bipartition"]
+
+
+@dataclass
+class FMResult:
+    """Outcome of one FM (or CLIP) run.
+
+    ``cut`` is measured on the *full* netlist (large nets re-included);
+    ``internal_cut`` is the engine's view over active nets only.
+    """
+
+    partition: Partition
+    cut: int
+    internal_cut: int
+    initial_cut: int
+    passes: int
+    total_moves: int
+    pass_cuts: List[int] = field(default_factory=list)
+
+
+def _active_nets(hg: Hypergraph, max_net_size: int) -> List[int]:
+    return [e for e in hg.all_nets() if hg.net_size(e) <= max_net_size]
+
+
+def _max_weighted_degree(hg: Hypergraph, active: List[bool]) -> int:
+    best = 0
+    for v in hg.modules():
+        d = sum(hg.net_weight(e) for e in hg.nets(v) if active[e])
+        if d > best:
+            best = d
+    return best
+
+
+def _module_gain(state: PartitionState, v: int) -> int:
+    """Weighted FM gain of moving module ``v`` to the other side."""
+    hg = state.hg
+    src = state.part_of[v]
+    dst = 1 - src
+    counts_src = state.counts[src]
+    counts_dst = state.counts[dst]
+    active = state.active
+    g = 0
+    for e in hg.nets(v):
+        if not active[e]:
+            continue
+        w = hg.net_weight(e)
+        if counts_src[e] == 1:
+            g += w
+        if counts_dst[e] == 0:
+            g -= w
+    return g
+
+
+def _initial_gains(state: PartitionState) -> List[int]:
+    """Weighted FM gain of moving each module to the other side."""
+    return [_module_gain(state, v) for v in state.hg.modules()]
+
+
+def _boundary_modules(state: PartitionState) -> List[int]:
+    """Modules incident to at least one cut active net."""
+    hg = state.hg
+    spans = state.spans
+    out = []
+    for v in hg.modules():
+        for e in hg.nets(v):
+            if state.active[e] and spans[e] > 1:
+                out.append(v)
+                break
+    return out
+
+
+def _lookahead_vector(state: PartitionState, locked_counts, v: int,
+                      depth: int):
+    """Level-2..depth Krishnamurthy gains of ``v`` (see FMConfig docs).
+
+    ``locked_counts[p][e]`` counts locked pins of net ``e`` in part
+    ``p``; free pins are total pins minus locked ones.
+    """
+    hg = state.hg
+    src = state.part_of[v]
+    dst = 1 - src
+    counts_src = state.counts[src]
+    counts_dst = state.counts[dst]
+    locked_src = locked_counts[src]
+    locked_dst = locked_counts[dst]
+    active = state.active
+    vec = [0] * (depth - 1)
+    for e in hg.nets(v):
+        if not active[e]:
+            continue
+        w = hg.net_weight(e)
+        lock_a = locked_src[e]
+        lock_b = locked_dst[e]
+        free_a = counts_src[e] - lock_a
+        free_b = counts_dst[e] - lock_b
+        for k in range(2, depth + 1):
+            if lock_a == 0 and free_a == k:
+                vec[k - 2] += w
+            if lock_b == 0 and free_b == k - 1:
+                vec[k - 2] -= w
+    return tuple(vec)
+
+
+def fm_bipartition(hg: Hypergraph,
+                   initial: Optional[Partition] = None,
+                   config: Optional[FMConfig] = None,
+                   balance: Optional[BalanceConstraint] = None,
+                   seed: SeedLike = None,
+                   rng: Optional[random.Random] = None,
+                   fixed: Optional[List[bool]] = None) -> FMResult:
+    """Refine (or create) a bipartitioning of ``hg`` with FM.
+
+    This is the ``FMPartition`` procedure of Figure 2: when ``initial``
+    is ``None`` a random balanced starting solution is generated; an
+    infeasible starting solution is first rebalanced by random moves.
+    ``fixed`` marks modules that may never move (pre-assigned pads /
+    propagated terminals, Section III-C); they keep their ``initial``
+    side throughout.
+    """
+    config = config or FMConfig()
+    rng = rng if rng is not None else make_rng(seed)
+    if balance is None:
+        balance = BalanceConstraint.from_tolerance(hg, config.tolerance, k=2)
+
+    if initial is None:
+        initial = random_partition(hg, k=2, rng=rng)
+    elif initial.k != 2:
+        raise PartitionError(
+            f"fm_bipartition requires k=2, got k={initial.k}")
+    if fixed is not None and len(fixed) != hg.num_modules:
+        raise PartitionError(
+            f"fixed has length {len(fixed)}, expected {hg.num_modules}")
+    if not balance.is_feasible(initial.part_areas(hg)):
+        movable = [not f for f in fixed] if fixed is not None else None
+        initial = rebalance_random(hg, initial, balance, rng=rng,
+                                   movable=movable)
+
+    active_list = _active_nets(hg, config.max_net_size)
+    state = PartitionState(hg, initial, active_nets=active_list)
+    max_gain = _max_weighted_degree(hg, state.active)
+    bucket_range = 2 * max_gain if config.clip else max_gain
+
+    initial_cut = cut(hg, initial)
+    best_overall = state.cut_weight
+    passes = 0
+    total_moves = 0
+    pass_cuts: List[int] = []
+    max_passes = config.max_passes or 1000
+
+    areas = hg.areas()
+    part_of = state.part_of
+    counts = state.counts
+    active = state.active
+    lower, upper = balance.lower, balance.upper
+
+    def is_movable(v: int) -> bool:
+        return fixed is None or not fixed[v]
+
+    while passes < max_passes:
+        passes += 1
+        buckets = make_buckets(hg.num_modules, bucket_range,
+                               config.bucket_policy, rng)
+
+        if config.clip:
+            # CLIP: concatenate all buckets into the zero bucket, best
+            # initial gain first, then track only gain *changes*.  With
+            # LIFO insertion (at head) ascending order leaves the best
+            # gain at the head; with FIFO (at tail) descending does.
+            gains = _initial_gains(state)
+            order = sorted((v for v in hg.modules() if is_movable(v)),
+                           key=lambda v: gains[v])
+            if config.bucket_policy == "fifo":
+                order.reverse()
+            for v in order:
+                buckets.insert(v, 0)
+            gains = [0] * hg.num_modules
+        elif config.boundary:
+            # Boundary refinement (Section V / Chaco [22]): only
+            # cut-incident modules enter the structure; the rest are
+            # inserted on demand when a move pulls them onto the
+            # boundary.
+            gains = [0] * hg.num_modules
+            for v in _boundary_modules(state):
+                if is_movable(v):
+                    gains[v] = _module_gain(state, v)
+                    buckets.insert(v, gains[v])
+        else:
+            gains = _initial_gains(state)
+            for v in hg.modules():
+                if is_movable(v):
+                    buckets.insert(v, gains[v])
+
+        locked = [bool(f) for f in fixed] if fixed is not None \
+            else [False] * hg.num_modules
+        locked_counts = ([[0] * hg.num_nets, [0] * hg.num_nets]
+                         if config.lookahead > 1 else None)
+        if locked_counts is not None and fixed is not None:
+            # Pre-assigned modules behave as locked pins for the
+            # lookahead binding numbers from the very start.
+            for v in hg.modules():
+                if fixed[v]:
+                    side = part_of[v]
+                    for e in hg.nets(v):
+                        if active[e]:
+                            locked_counts[side][e] += 1
+        moves: List[Tuple[int, int]] = []  # (module, original part)
+        pass_start_cut = state.cut_weight
+        best_cut = pass_start_cut
+        best_index = 0  # number of moves forming the best prefix
+        stall = 0
+
+        pending: set = set()
+        if config.boundary:
+            def bump(u, delta):
+                if buckets.contains(u):
+                    gains[u] += delta
+                    buckets.update(u, gains[u])
+                else:
+                    # Newly on the boundary.  Its full gain is computed
+                    # once, from the post-move counts, after both update
+                    # phases finish — applying per-net deltas here would
+                    # double-count nets the fresh computation already
+                    # sees.
+                    pending.add(u)
+        else:
+            def bump(u, delta):
+                gains[u] += delta
+                buckets.update(u, gains[u])
+
+        while len(buckets):
+            chosen = -1
+            if locked_counts is None:
+                for v in buckets.iter_desc():
+                    src = part_of[v]
+                    a = areas[v]
+                    if (state.part_area[src] - a >= lower
+                            and state.part_area[1 - src] + a <= upper):
+                        chosen = v
+                        break
+            else:
+                # Lookahead: among the feasible members of the best
+                # bucket (all tied on level-1 gain), pick the largest
+                # level-2..r gain vector; first-seen (LIFO) wins ties.
+                best_vec = None
+                chosen_gain = 0
+                for v in buckets.iter_desc():
+                    if chosen >= 0 and gains[v] != chosen_gain:
+                        break
+                    src = part_of[v]
+                    a = areas[v]
+                    if not (state.part_area[src] - a >= lower
+                            and state.part_area[1 - src] + a <= upper):
+                        continue
+                    vec = _lookahead_vector(state, locked_counts, v,
+                                            config.lookahead)
+                    if chosen < 0 or vec > best_vec:
+                        chosen = v
+                        best_vec = vec
+                        chosen_gain = gains[v]
+            if chosen < 0:
+                break  # no feasible move remains
+            buckets.remove(chosen)
+            locked[chosen] = True
+            src = part_of[chosen]
+            dst = 1 - src
+
+            # Gain updates, phase A: inspect pre-move counts.
+            for e in hg.nets(chosen):
+                if not active[e]:
+                    continue
+                w = hg.net_weight(e)
+                cd = counts[dst][e]
+                if cd == 0:
+                    for u in hg.pins(e):
+                        if not locked[u]:
+                            bump(u, w)
+                elif cd == 1:
+                    for u in hg.pins(e):
+                        if not locked[u] and part_of[u] == dst:
+                            bump(u, -w)
+                            break
+
+            state.move(chosen, dst)
+            moves.append((chosen, src))
+            total_moves += 1
+            if locked_counts is not None:
+                bumped = locked_counts[dst]
+                for e in hg.nets(chosen):
+                    if active[e]:
+                        bumped[e] += 1
+
+            # Gain updates, phase B: inspect post-move counts.
+            for e in hg.nets(chosen):
+                if not active[e]:
+                    continue
+                w = hg.net_weight(e)
+                cs = counts[src][e]
+                if cs == 0:
+                    for u in hg.pins(e):
+                        if not locked[u]:
+                            bump(u, -w)
+                elif cs == 1:
+                    for u in hg.pins(e):
+                        if not locked[u] and part_of[u] == src:
+                            bump(u, w)
+                            break
+
+            if pending:
+                for u in pending:
+                    gains[u] = _module_gain(state, u)
+                    buckets.insert(u, gains[u])
+                pending.clear()
+
+            if state.cut_weight < best_cut:
+                best_cut = state.cut_weight
+                best_index = len(moves)
+                stall = 0
+            else:
+                stall += 1
+                if (config.early_exit_stall is not None
+                        and stall >= config.early_exit_stall):
+                    break
+
+        # Roll back to the best prefix of the pass.
+        for v, original in reversed(moves[best_index:]):
+            state.move(v, original)
+        pass_cuts.append(state.cut_weight)
+
+        if state.cut_weight >= best_overall:
+            break
+        best_overall = state.cut_weight
+
+    final = state.to_partition()
+    return FMResult(partition=final,
+                    cut=cut(hg, final),
+                    internal_cut=state.cut_weight,
+                    initial_cut=initial_cut,
+                    passes=passes,
+                    total_moves=total_moves,
+                    pass_cuts=pass_cuts)

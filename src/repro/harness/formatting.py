@@ -1,0 +1,57 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same row/column structure as the
+paper's tables; these helpers keep that output aligned and readable in
+a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["format_table", "format_number"]
+
+
+def format_number(value: object, digits: int = 1) -> str:
+    """Render a table cell: ints verbatim, floats rounded, None blank."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None,
+                 digits: int = 1) -> str:
+    """Fixed-width ASCII table; first column left-aligned, rest right."""
+    rendered: List[List[str]] = [
+        [format_number(cell, digits) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            width = widths[i] if i < len(widths) else len(cell)
+            parts.append(cell.ljust(width) if i == 0 else cell.rjust(width))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)

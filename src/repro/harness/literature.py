@@ -1,0 +1,212 @@
+"""Published numbers quoted by the paper (Tables VII and VIII).
+
+Table VII compares ML_C against nine algorithms whose cut sizes the
+paper *quotes from the literature* rather than rerunning (GMet, HB,
+PARABOLI, GFM, GFM_t, CL-LA3_f, CD-LA3_f, CL-PR_f) plus the authors'
+own LSMC reimplementation.  We keep those published values as data so
+the Table VII/VIII benchmark harnesses can print them next to our
+measured columns, exactly as the paper does.
+
+Cells that are blank in the paper (an algorithm did not report that
+circuit) — or that are ambiguous in our source scan — are ``None``.
+The paper's own summary rows (percent improvement of ML_C over each
+algorithm) are reproduced verbatim in :data:`TABLE_VII_IMPROVEMENT`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = [
+    "TABLE_VII_ALGORITHMS",
+    "TABLE_VII_CUTS",
+    "TABLE_VII_MLC",
+    "TABLE_VII_IMPROVEMENT",
+    "TABLE_VIII_CPU",
+    "percent_improvement",
+]
+
+#: Comparator columns of Table VII, in the paper's order.
+TABLE_VII_ALGORITHMS = ("GMet", "HB", "PB", "GFM", "GFMt",
+                        "CL-LA3f", "CD-LA3f", "CL-PRf", "LSMC")
+
+#: The paper's own ML_C results (min cut over 100 runs / over 10 runs).
+TABLE_VII_MLC: Dict[str, Dict[str, int]] = {
+    "balu": {"100": 27, "10": 27},
+    "bm1": {"100": 47, "10": 51},
+    "primary1": {"100": 47, "10": 52},
+    "test04": {"100": 48, "10": 49},
+    "test03": {"100": 56, "10": 58},
+    "test02": {"100": 89, "10": 92},
+    "test06": {"100": 60, "10": 60},
+    "struct": {"100": 33, "10": 33},
+    "test05": {"100": 71, "10": 72},
+    "19ks": {"100": 106, "10": 108},
+    "primary2": {"100": 139, "10": 145},
+    "s9234": {"100": 40, "10": 41},
+    "biomed": {"100": 83, "10": 84},
+    "s13207": {"100": 55, "10": 55},
+    "s15850": {"100": 44, "10": 56},
+    "industry2": {"100": 164, "10": 174},
+    "industry3": {"100": 243, "10": 243},
+    "s35932": {"100": 41, "10": 42},
+    "s38584": {"100": 47, "10": 48},
+    "avqsmall": {"100": 128, "10": 134},
+    "s38417": {"100": 49, "10": 50},
+    "avqlarge": {"100": 128, "10": 131},
+    "golem3": {"100": 1346, "10": 1374},
+}
+
+#: Published comparator cuts (Table VII); ``None`` = blank/ambiguous.
+TABLE_VII_CUTS: Dict[str, Dict[str, Optional[int]]] = {
+    "balu": {"GMet": 27, "HB": 41, "PB": 27, "GFM": 28, "GFMt": 27,
+             "CL-LA3f": 27, "CD-LA3f": 27, "CL-PRf": 27, "LSMC": None},
+    "bm1": {"GMet": 48, "HB": None, "PB": 51, "GFM": None, "GFMt": None,
+            "CL-LA3f": 47, "CD-LA3f": 47, "CL-PRf": 49, "LSMC": None},
+    "primary1": {"GMet": 47, "HB": 53, "PB": 47, "GFM": 51, "GFMt": 51,
+                 "CL-LA3f": 47, "CD-LA3f": 51, "CL-PRf": 49, "LSMC": None},
+    "test04": {"GMet": 49, "HB": None, "PB": 49, "GFM": None, "GFMt": None,
+               "CL-LA3f": 48, "CD-LA3f": 52, "CL-PRf": 69, "LSMC": None},
+    "test03": {"GMet": 62, "HB": None, "PB": 56, "GFM": None, "GFMt": None,
+               "CL-LA3f": 57, "CD-LA3f": 57, "CL-PRf": 63, "LSMC": None},
+    "test02": {"GMet": 95, "HB": None, "PB": 91, "GFM": None, "GFMt": None,
+               "CL-LA3f": 89, "CD-LA3f": 87, "CL-PRf": 102, "LSMC": None},
+    "test06": {"GMet": 94, "HB": None, "PB": 60, "GFM": None, "GFMt": None,
+               "CL-LA3f": 60, "CD-LA3f": 60, "CL-PRf": 60, "LSMC": None},
+    "struct": {"GMet": 33, "HB": 40, "PB": 41, "GFM": 36, "GFMt": 33,
+               "CL-LA3f": 36, "CD-LA3f": 33, "CL-PRf": 43, "LSMC": None},
+    "test05": {"GMet": 104, "HB": None, "PB": 80, "GFM": None, "GFMt": None,
+               "CL-LA3f": 74, "CD-LA3f": 77, "CL-PRf": 97, "LSMC": None},
+    "19ks": {"GMet": 106, "HB": None, "PB": 104, "GFM": None, "GFMt": None,
+             "CL-LA3f": 104, "CD-LA3f": 104, "CL-PRf": 123, "LSMC": None},
+    "primary2": {"GMet": 142, "HB": 146, "PB": 139, "GFM": 139,
+                 "GFMt": 142, "CL-LA3f": 151, "CD-LA3f": 152,
+                 "CL-PRf": 163, "LSMC": None},
+    "s9234": {"GMet": 43, "HB": 45, "PB": 74, "GFM": 41, "GFMt": 44,
+              "CL-LA3f": 45, "CD-LA3f": 44, "CL-PRf": 42, "LSMC": 44},
+    "biomed": {"GMet": 83, "HB": 135, "PB": 84, "GFM": 92, "GFMt": None,
+               "CL-LA3f": 83, "CD-LA3f": 83, "CL-PRf": 84, "LSMC": 83},
+    "s13207": {"GMet": 70, "HB": 62, "PB": 91, "GFM": 66, "GFMt": 61,
+               "CL-LA3f": 66, "CD-LA3f": 69, "CL-PRf": 71, "LSMC": 68},
+    "s15850": {"GMet": 53, "HB": 46, "PB": 91, "GFM": 63, "GFMt": 46,
+               "CL-LA3f": 71, "CD-LA3f": 59, "CL-PRf": 56, "LSMC": 91},
+    "industry2": {"GMet": 177, "HB": 193, "PB": 211, "GFM": 175,
+                  "GFMt": None, "CL-LA3f": 200, "CD-LA3f": 182,
+                  "CL-PRf": 192, "LSMC": 246},
+    "industry3": {"GMet": 243, "HB": 267, "PB": 241, "GFM": 244,
+                  "GFMt": None, "CL-LA3f": 260, "CD-LA3f": 243,
+                  "CL-PRf": 243, "LSMC": 242},
+    "s35932": {"GMet": 57, "HB": 46, "PB": 62, "GFM": 41, "GFMt": 44,
+               "CL-LA3f": 73, "CD-LA3f": 73, "CL-PRf": 42, "LSMC": 97},
+    "s38584": {"GMet": 53, "HB": 52, "PB": 55, "GFM": 47, "GFMt": 54,
+               "CL-LA3f": 50, "CD-LA3f": 47, "CL-PRf": 51, "LSMC": 51},
+    "avqsmall": {"GMet": 144, "HB": None, "PB": 224, "GFM": 129,
+                 "GFMt": None, "CL-LA3f": 139, "CD-LA3f": 144,
+                 "CL-PRf": None, "LSMC": 270},
+    "s38417": {"GMet": 69, "HB": 49, "PB": 81, "GFM": 62, "GFMt": None,
+               "CL-LA3f": 70, "CD-LA3f": 74, "CL-PRf": 65, "LSMC": 116},
+    "avqlarge": {"GMet": 144, "HB": None, "PB": 139, "GFM": 127,
+                 "GFMt": None, "CL-LA3f": 137, "CD-LA3f": 143,
+                 "CL-PRf": None, "LSMC": 255},
+    "golem3": {"GMet": 2111, "HB": None, "PB": None, "GFM": None,
+               "GFMt": None, "CL-LA3f": None, "CD-LA3f": None,
+               "CL-PRf": None, "LSMC": 1629},
+}
+
+#: The paper's summary rows: average percent improvement of ML_C (100
+#: runs / 10 runs) over each comparator.  HB has no 100-run entry in
+#: the scan we transcribe from.
+TABLE_VII_IMPROVEMENT: Dict[str, Dict[str, Optional[float]]] = {
+    "100": {"GMet": 16.9, "HB": 9.5, "PB": 27.9, "GFM": 11.1, "GFMt": 7.8,
+            "CL-LA3f": 9.2, "CD-LA3f": 11.5, "CL-PRf": 6.9, "LSMC": 21.9},
+    "10": {"GMet": 8.4, "HB": 3.0, "PB": 20.6, "GFM": 6.5, "GFMt": 3.6,
+           "CL-LA3f": 6.0, "CD-LA3f": 7.9, "CL-PRf": 5.2, "LSMC": 19.1},
+}
+
+#: Published CPU seconds (Table VIII): ML_C column is 10 runs on a Sun
+#: Sparc 5; PB on a DEC 3000/500 AXP; GFM/GFM_t on a Sparc 10; the rest
+#: on the Sparc 5.  ``None`` = blank in the paper / ambiguous scan.
+TABLE_VIII_CPU: Dict[str, Dict[str, Optional[float]]] = {
+    "balu": {"MLc10": 17, "GMet": 14, "PB": 16, "GFM": 24, "GFMt": 25,
+             "CL-LA3f": 32, "CD-LA3f": 31, "CL-PRf": 34, "LSMC": 41},
+    "bm1": {"MLc10": 18, "GMet": 12, "PB": None, "GFM": None, "GFMt": None,
+            "CL-LA3f": 37, "CD-LA3f": 47, "CL-PRf": 36, "LSMC": 43},
+    "primary1": {"MLc10": 18, "GMet": 12, "PB": 18, "GFM": 16, "GFMt": 25,
+                 "CL-LA3f": 36, "CD-LA3f": 48, "CL-PRf": 37, "LSMC": 42},
+    "test04": {"MLc10": 41, "GMet": 21, "PB": None, "GFM": None,
+               "GFMt": None, "CL-LA3f": 81, "CD-LA3f": 106,
+               "CL-PRf": 114, "LSMC": 89},
+    "test03": {"MLc10": 47, "GMet": 23, "PB": None, "GFM": None,
+               "GFMt": None, "CL-LA3f": 88, "CD-LA3f": 107,
+               "CL-PRf": 95, "LSMC": 92},
+    "test02": {"MLc10": 45, "GMet": 26, "PB": None, "GFM": None,
+               "GFMt": None, "CL-LA3f": 99, "CD-LA3f": 124,
+               "CL-PRf": 109, "LSMC": 94},
+    "test06": {"MLc10": 55, "GMet": 32, "PB": None, "GFM": 50,
+               "GFMt": None, "CL-LA3f": 55, "CD-LA3f": 175,
+               "CL-PRf": 99, "LSMC": None},
+    "struct": {"MLc10": 35, "GMet": 27, "PB": 35, "GFM": 80, "GFMt": 32,
+               "CL-LA3f": 45, "CD-LA3f": 54, "CL-PRf": 75, "LSMC": 83},
+    "test05": {"MLc10": 74, "GMet": 46, "PB": None, "GFM": None,
+               "GFMt": None, "CL-LA3f": 141, "CD-LA3f": 162,
+               "CL-PRf": 188, "LSMC": 148},
+    "19ks": {"MLc10": 84, "GMet": 39, "PB": None, "GFM": None,
+             "GFMt": None, "CL-LA3f": 178, "CD-LA3f": 216,
+             "CL-PRf": 219, "LSMC": 279},
+    "primary2": {"MLc10": 90, "GMet": 53, "PB": 137, "GFM": 224,
+                 "GFMt": 61, "CL-LA3f": 167, "CD-LA3f": 210,
+                 "CL-PRf": 353, "LSMC": 176},
+    "s9234": {"MLc10": 97, "GMet": 58, "PB": 490, "GFM": 672, "GFMt": 186,
+              "CL-LA3f": 175, "CD-LA3f": 270, "CL-PRf": 264, "LSMC": 326},
+    "biomed": {"MLc10": 172, "GMet": 95, "PB": 711, "GFM": 1440,
+               "GFMt": 371, "CL-LA3f": 231, "CD-LA3f": 362,
+               "CL-PRf": 572, "LSMC": 342},
+    "s13207": {"MLc10": 155, "GMet": 102, "PB": 2060, "GFM": 1920,
+               "GFMt": 397, "CL-LA3f": 220, "CD-LA3f": 429,
+               "CL-PRf": 380, "LSMC": 505},
+    "s15850": {"MLc10": 189, "GMet": 114, "PB": 1731, "GFM": 2560,
+               "GFMt": 530, "CL-LA3f": 267, "CD-LA3f": 543,
+               "CL-PRf": 576, "LSMC": 598},
+    "industry2": {"MLc10": 502, "GMet": 245, "PB": 1367, "GFM": 4320,
+                  "GFMt": 819, "CL-LA3f": 1129, "CD-LA3f": 1453,
+                  "CL-PRf": 2127, "LSMC": 944},
+    "industry3": {"MLc10": 667, "GMet": 299, "PB": 761, "GFM": 4000,
+                  "GFMt": 861, "CL-LA3f": 1419, "CD-LA3f": 1944,
+                  "CL-PRf": 1920, "LSMC": 1192},
+    "s35932": {"MLc10": 427, "GMet": 266, "PB": 2627, "GFM": 10160,
+               "GFMt": 1088, "CL-LA3f": 463, "CD-LA3f": 964,
+               "CL-PRf": 1085, "LSMC": 1191},
+    "s38584": {"MLc10": 490, "GMet": 397, "PB": 6518, "GFM": 9680,
+               "GFMt": 3463, "CL-LA3f": 748, "CD-LA3f": 1339,
+               "CL-PRf": 1950, "LSMC": 1586},
+    "avqsmall": {"MLc10": 603, "GMet": 328, "PB": 4099, "GFM": None,
+                 "GFMt": 1260, "CL-LA3f": 2507, "CD-LA3f": 2082,
+                 "CL-PRf": None, "LSMC": 1600},
+    "s38417": {"MLc10": 496, "GMet": 281, "PB": 2042, "GFM": 11280,
+               "GFMt": 1062, "CL-LA3f": 811, "CD-LA3f": 1733,
+               "CL-PRf": 1690, "LSMC": 1676},
+    "avqlarge": {"MLc10": 666, "GMet": 417, "PB": 4135, "GFM": None,
+                 "GFMt": 1430, "CL-LA3f": 3145, "CD-LA3f": 2126,
+                 "CL-PRf": None, "LSMC": 1742},
+    "golem3": {"MLc10": 10483, "GMet": 450, "PB": None, "GFM": None,
+               "GFMt": None, "CL-LA3f": None, "CD-LA3f": None,
+               "CL-PRf": None, "LSMC": 10823},
+}
+
+
+def percent_improvement(ours: Dict[str, int],
+                        theirs: Dict[str, Optional[int]]) -> Optional[float]:
+    """Average percent cut improvement of ``ours`` over ``theirs``.
+
+    Averaged over circuits present (non-``None``) in both, as the
+    paper's summary rows are; returns ``None`` with no common circuit.
+    """
+    deltas: List[float] = []
+    for circuit, theirs_cut in theirs.items():
+        ours_cut = ours.get(circuit)
+        if theirs_cut is None or ours_cut is None or theirs_cut == 0:
+            continue
+        deltas.append(100.0 * (theirs_cut - ours_cut) / theirs_cut)
+    if not deltas:
+        return None
+    return sum(deltas) / len(deltas)

@@ -1,0 +1,85 @@
+"""Terminal line charts for the paper's figures.
+
+Figure 4 of the paper is a line chart (matching ratio vs average cut);
+this renderer produces the equivalent as fixed-width text so benchmark
+logs carry the figure, not just its numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigError
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "*o+x#@"
+
+
+def ascii_chart(xs: Sequence[float],
+                series: Dict[str, Sequence[float]],
+                width: int = 60,
+                height: int = 16,
+                title: Optional[str] = None,
+                x_label: str = "",
+                y_label: str = "") -> str:
+    """Render one or more y-series over shared x values.
+
+    Each series gets a marker character; points are plotted on a
+    ``width x height`` grid with linear scales, and min/max ticks are
+    printed on both axes.
+    """
+    if not xs:
+        raise ConfigError("ascii_chart needs at least one x value")
+    if not series:
+        raise ConfigError("ascii_chart needs at least one series")
+    if width < 10 or height < 4:
+        raise ConfigError("chart must be at least 10x4")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ConfigError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} "
+                "x values")
+
+    x_min, x_max = min(xs), max(xs)
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(sorted(series.items())):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            col = round((x - x_min) / x_span * (width - 1))
+            row = round((y - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(y_label)
+    top_tick = f"{y_max:g}"
+    bottom_tick = f"{y_min:g}"
+    gutter = max(len(top_tick), len(bottom_tick))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top_tick.rjust(gutter)
+        elif i == height - 1:
+            label = bottom_tick.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    left = f"{x_min:g}"
+    right = f"{x_max:g}"
+    padding = width - len(left) - len(right)
+    lines.append(" " * (gutter + 2) + left + " " * max(1, padding) + right)
+    if x_label:
+        lines.append(" " * (gutter + 2) + x_label)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(sorted(series)))
+    lines.append(legend)
+    return "\n".join(lines)

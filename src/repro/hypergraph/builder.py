@@ -1,0 +1,126 @@
+"""Incremental construction of hypergraphs.
+
+:class:`HypergraphBuilder` supports named modules and incremental net
+addition, which is what netlist parsers and synthetic generators need;
+it emits an immutable :class:`~repro.hypergraph.Hypergraph` at the end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import HypergraphError
+from .hypergraph import Hypergraph
+
+__all__ = ["HypergraphBuilder"]
+
+
+class HypergraphBuilder:
+    """Builds a :class:`Hypergraph` module-by-module and net-by-net.
+
+    Modules may be referred to by arbitrary hashable names; indices are
+    assigned in first-registration order.  Nets whose pins collapse to a
+    single module are rejected by default (``skip_degenerate_nets=True``
+    silently drops them instead, which parsers of real netlists often
+    want for single-pin nets).
+    """
+
+    def __init__(self, name: str = "", skip_degenerate_nets: bool = False):
+        self.name = name
+        self._skip_degenerate = skip_degenerate_nets
+        self._index: Dict[object, int] = {}
+        self._areas: List[float] = []
+        self._nets: List[List[int]] = []
+        self._net_weights: List[int] = []
+        self._dropped_nets = 0
+
+    # ------------------------------------------------------------------
+
+    def add_module(self, name: object, area: float = 1.0) -> int:
+        """Register module ``name`` and return its index.
+
+        Re-registering an existing name returns the existing index; the
+        area must then match (a mismatch is an error, not an update).
+        """
+        if name in self._index:
+            idx = self._index[name]
+            if self._areas[idx] != float(area):
+                raise HypergraphError(
+                    f"module {name!r} re-registered with area {area}, "
+                    f"already has {self._areas[idx]}")
+            return idx
+        if area <= 0:
+            raise HypergraphError(
+                f"module {name!r} has non-positive area {area}")
+        idx = len(self._areas)
+        self._index[name] = idx
+        self._areas.append(float(area))
+        return idx
+
+    def module_index(self, name: object) -> int:
+        """Index of an already-registered module."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise HypergraphError(f"unknown module {name!r}") from None
+
+    def add_net(self, pin_names: Iterable[object], weight: int = 1,
+                auto_add: bool = True) -> Optional[int]:
+        """Add a net over the named pins; returns the net index.
+
+        Unknown names are registered with unit area when ``auto_add``.
+        Returns ``None`` when a degenerate net was skipped.
+        """
+        pins: List[int] = []
+        seen = set()
+        for pname in pin_names:
+            if auto_add:
+                idx = self.add_module(pname) if pname not in self._index \
+                    else self._index[pname]
+            else:
+                idx = self.module_index(pname)
+            if idx not in seen:
+                seen.add(idx)
+                pins.append(idx)
+        if len(pins) < 2:
+            if self._skip_degenerate:
+                self._dropped_nets += 1
+                return None
+            raise HypergraphError(
+                f"net over {list(pin_names)!r} spans fewer than two "
+                "distinct modules")
+        if weight <= 0:
+            raise HypergraphError(f"net weight must be positive, got {weight}")
+        self._nets.append(pins)
+        self._net_weights.append(int(weight))
+        return len(self._nets) - 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_modules(self) -> int:
+        return len(self._areas)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self._nets)
+
+    @property
+    def dropped_nets(self) -> int:
+        """Number of degenerate nets silently skipped."""
+        return self._dropped_nets
+
+    def module_names(self) -> List[object]:
+        """Module names in index order."""
+        names: List[object] = [None] * len(self._areas)
+        for name, idx in self._index.items():
+            names[idx] = name
+        return names
+
+    def build(self) -> Hypergraph:
+        """Emit the immutable hypergraph."""
+        return Hypergraph(self._nets,
+                          num_modules=len(self._areas),
+                          areas=self._areas,
+                          net_weights=self._net_weights,
+                          name=self.name)

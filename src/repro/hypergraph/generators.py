@@ -1,0 +1,265 @@
+"""Synthetic benchmark-circuit generators.
+
+The paper evaluates on 23 ACM/SIGDA benchmark circuits obtained from the
+CAD Benchmarking Laboratory (Table I).  Those netlists are not shipped
+here, so this module provides generators that produce *structurally
+comparable* synthetic circuits:
+
+* :func:`hierarchical_circuit` — the workhorse.  Modules are placed at
+  the leaves of a recursive bisection tree and nets are drawn with a
+  strong locality bias (a net's pins share a deep subtree with high
+  probability).  Real netlists exhibit exactly this kind of recursive
+  community structure (Rent's rule); it is what makes multilevel
+  coarsening effective and flat FM degrade with size — the central
+  phenomenon of the paper.
+* :func:`grid_circuit` — a rectangular mesh with known, analysable
+  min-cut structure; used heavily by the test suite.
+* :func:`random_hypergraph` — unstructured uniform random nets; used by
+  property-based tests and as a pathological "no structure" input.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..errors import HypergraphError
+from ..rng import SeedLike, make_rng
+from .hypergraph import Hypergraph
+
+__all__ = [
+    "hierarchical_circuit",
+    "grid_circuit",
+    "random_hypergraph",
+    "net_size_distribution",
+]
+
+
+def net_size_distribution(mean_size: float,
+                          max_size: int = 10,
+                          large_net_fraction: float = 0.01,
+                          large_net_size: int = 30) -> List[float]:
+    """Weights over net sizes ``2..max_size`` plus a rare large-net bucket.
+
+    Returns a weight vector indexed so that entry ``k`` is the weight of
+    net size ``k + 2``; the final entry corresponds to ``large_net_size``.
+    The geometric decay rate is solved numerically so the distribution's
+    mean matches ``mean_size`` (clamped to the representable range).
+
+    Real circuits are dominated by 2- and 3-pin nets with a thin tail of
+    high-fanout nets (clock/reset); Table I's pins/nets ratios fall in
+    ``[2.8, 3.7]``, squarely inside the representable range.
+    """
+    if max_size < 3:
+        raise HypergraphError("max_size must be at least 3")
+    sizes = list(range(2, max_size + 1)) + [large_net_size]
+
+    def mean_for(decay: float) -> float:
+        weights = [decay ** i for i in range(max_size - 1)]
+        weights.append(large_net_fraction * sum(weights))
+        total = sum(weights)
+        return sum(s * w for s, w in zip(sizes, weights)) / total
+
+    lo, hi = 1e-6, 1.0
+    target = min(max(mean_size, mean_for(lo) + 1e-9), mean_for(hi) - 1e-9)
+    for _ in range(60):
+        mid = (lo + hi) / 2
+        if mean_for(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+    decay = (lo + hi) / 2
+    weights = [decay ** i for i in range(max_size - 1)]
+    weights.append(large_net_fraction * sum(weights))
+    return weights
+
+
+def _leaf_assignment(num_modules: int, depth: int,
+                     rng: random.Random) -> List[int]:
+    """Assign each module a leaf id of a depth-``depth`` bisection tree.
+
+    Modules are spread evenly over the ``2**depth`` leaves and then the
+    module indices are shuffled, so module index carries no positional
+    information (partitioners must discover the structure).
+    """
+    leaves = 1 << depth
+    leaf_of = [i * leaves // num_modules for i in range(num_modules)]
+    rng.shuffle(leaf_of)
+    return leaf_of
+
+
+def hierarchical_circuit(num_modules: int,
+                         num_nets: int,
+                         mean_net_size: float = 3.2,
+                         depth: Optional[int] = None,
+                         locality: float = 0.9,
+                         seed: SeedLike = None,
+                         name: str = "",
+                         areas: Optional[Sequence[float]] = None,
+                         ) -> Hypergraph:
+    """Generate a hierarchically clustered synthetic circuit.
+
+    Parameters
+    ----------
+    num_modules, num_nets:
+        Target sizes (matched exactly).
+    mean_net_size:
+        Target average pins per net; pin totals land close to
+        ``num_nets * mean_net_size``.
+    depth:
+        Depth of the implicit bisection tree.  Defaults to
+        ``log2(num_modules / 4)`` so leaves hold roughly 4 modules —
+        tight micro-clusters like the gate-level cones of real
+        netlists, which is what makes cluster-aware methods (CLIP,
+        multilevel coarsening) pay off the way the paper reports.
+    locality:
+        Probability, at each tree level, that a net stays inside the
+        current subtree rather than escaping to the sibling.  Higher
+        values produce smaller natural cuts.
+    seed:
+        Determinism control.
+    areas:
+        Optional per-module areas (defaults to unit areas, as in all the
+        paper's bipartitioning experiments).
+
+    The construction draws each net by walking down the bisection tree:
+    at each level the net "commits" to one child with probability
+    ``locality``; once committed the net's pins are sampled from the
+    chosen subtree.  A net that never commits becomes a global net.
+    The resulting netlist has an expected cut at the top-level split far
+    below that of a random hypergraph, so good partitioners separate
+    cleanly from bad ones.
+    """
+    if num_modules < 4:
+        raise HypergraphError("hierarchical_circuit needs >= 4 modules")
+    if num_nets < 1:
+        raise HypergraphError("hierarchical_circuit needs >= 1 net")
+    rng = make_rng(seed)
+
+    if depth is None:
+        depth = max(1, (num_modules // 4).bit_length() - 1)
+    depth = max(1, min(depth, (num_modules // 2).bit_length() - 1))
+
+    leaf_of = _leaf_assignment(num_modules, depth, rng)
+    num_leaves = 1 << depth
+
+    # modules_by_leaf[leaf] = module indices living at that leaf.
+    modules_by_leaf: List[List[int]] = [[] for _ in range(num_leaves)]
+    for v, leaf in enumerate(leaf_of):
+        modules_by_leaf[leaf].append(v)
+
+    # Prefix structure: modules under internal node (level, index) are the
+    # concatenation of a contiguous leaf range.  We sample by picking a
+    # leaf range [lo, hi) and then sampling modules from its leaves.
+    size_weights = net_size_distribution(mean_net_size)
+    size_values = list(range(2, 2 + len(size_weights) - 1)) + [30]
+
+    def sample_from_range(lo: int, hi: int, count: int) -> List[int]:
+        """Sample ``count`` distinct modules whose leaf is in [lo, hi)."""
+        pool_size = sum(len(modules_by_leaf[leaf]) for leaf in range(lo, hi))
+        count = min(count, pool_size)
+        chosen: set = set()
+        # Rejection sampling over leaves keeps this O(count) in the common
+        # case; fall back to explicit pooling for tiny ranges.
+        if pool_size <= 4 * count:
+            pool = [v for leaf in range(lo, hi)
+                    for v in modules_by_leaf[leaf]]
+            return rng.sample(pool, count)
+        while len(chosen) < count:
+            leaf = rng.randrange(lo, hi)
+            bucket = modules_by_leaf[leaf]
+            if bucket:
+                chosen.add(bucket[rng.randrange(len(bucket))])
+        return list(chosen)
+
+    nets: List[List[int]] = []
+    for _ in range(num_nets):
+        size = rng.choices(size_values, weights=size_weights, k=1)[0]
+        lo, hi = 0, num_leaves
+        while hi - lo > 1 and rng.random() < locality:
+            mid = (lo + hi) // 2
+            if rng.random() < 0.5:
+                hi = mid
+            else:
+                lo = mid
+        pins = sample_from_range(lo, hi, size)
+        if len(pins) < 2:
+            # Subtree too small for the drawn size; widen to the whole
+            # netlist so the net is never dropped.
+            pins = sample_from_range(0, num_leaves, max(2, size))
+        nets.append(pins)
+
+    # Real netlists contain no unconnected cells: splice any module the
+    # sampling missed into a small net from its own leaf neighbourhood
+    # (net and pin counts barely change, locality is preserved).
+    connected = [False] * num_modules
+    net_by_leaf: List[List[int]] = [[] for _ in range(num_leaves)]
+    for idx, pins in enumerate(nets):
+        for v in pins:
+            connected[v] = True
+        net_by_leaf[leaf_of[pins[0]]].append(idx)
+    small_nets = [idx for idx, pins in enumerate(nets) if len(pins) < 8]
+    for v in range(num_modules):
+        if connected[v]:
+            continue
+        local = net_by_leaf[leaf_of[v]]
+        pool = local if local else small_nets
+        if not pool:
+            pool = range(len(nets))
+        nets[rng.choice(list(pool))].append(v)
+        connected[v] = True
+
+    return Hypergraph(nets, num_modules=num_modules, areas=areas, name=name)
+
+
+def grid_circuit(rows: int, cols: int, seed: SeedLike = None,
+                 name: str = "") -> Hypergraph:
+    """A ``rows x cols`` mesh of 2-pin nets.
+
+    The optimal bisection of a mesh cuts ``min(rows, cols)`` nets (a
+    straight cut across the short dimension), which gives the test suite
+    a known ground truth.  Module indices are shuffled when a seed is
+    given so the structure is not index-aligned.
+    """
+    if rows < 1 or cols < 1:
+        raise HypergraphError("grid dimensions must be positive")
+    if rows * cols < 2:
+        raise HypergraphError("grid must contain at least two modules")
+    n = rows * cols
+    ids = list(range(n))
+    if seed is not None:
+        make_rng(seed).shuffle(ids)
+
+    def at(r: int, c: int) -> int:
+        return ids[r * cols + c]
+
+    nets: List[List[int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                nets.append([at(r, c), at(r, c + 1)])
+            if r + 1 < rows:
+                nets.append([at(r, c), at(r + 1, c)])
+    return Hypergraph(nets, num_modules=n,
+                      name=name or f"grid{rows}x{cols}")
+
+
+def random_hypergraph(num_modules: int, num_nets: int,
+                      min_net_size: int = 2, max_net_size: int = 5,
+                      seed: SeedLike = None,
+                      name: str = "") -> Hypergraph:
+    """Uniform random hypergraph with nets of size in the given range."""
+    if num_modules < max(2, min_net_size):
+        raise HypergraphError(
+            "random_hypergraph needs at least min_net_size (>= 2) modules")
+    if min_net_size < 2 or max_net_size < min_net_size:
+        raise HypergraphError("invalid net size range")
+    rng = make_rng(seed)
+    nets = []
+    for _ in range(num_nets):
+        size = rng.randint(min_net_size, min(max_net_size, num_modules))
+        nets.append(rng.sample(range(num_modules), size))
+    return Hypergraph(nets, num_modules=num_modules,
+                      name=name or "random")

@@ -1,0 +1,69 @@
+"""Descriptive statistics over netlist hypergraphs.
+
+Used by the benchmark harness to print Table I-style characteristics and
+by the generators' calibration tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from .hypergraph import Hypergraph
+
+__all__ = ["HypergraphStats", "compute_stats", "net_size_histogram",
+           "degree_histogram"]
+
+
+@dataclass(frozen=True)
+class HypergraphStats:
+    """Summary characteristics of one netlist (Table I columns + extras)."""
+
+    name: str
+    modules: int
+    nets: int
+    pins: int
+    mean_net_size: float
+    max_net_size: int
+    mean_degree: float
+    max_degree: int
+    total_area: float
+    max_area: float
+
+    def as_row(self) -> Dict[str, object]:
+        """Dictionary form used by the table formatter."""
+        return {
+            "Test Case": self.name,
+            "# Modules": self.modules,
+            "# Nets": self.nets,
+            "# Pins": self.pins,
+        }
+
+
+def compute_stats(hg: Hypergraph) -> HypergraphStats:
+    """Compute :class:`HypergraphStats` for ``hg``."""
+    net_sizes = [hg.net_size(e) for e in hg.all_nets()]
+    degrees = [hg.degree(v) for v in hg.modules()]
+    return HypergraphStats(
+        name=hg.name,
+        modules=hg.num_modules,
+        nets=hg.num_nets,
+        pins=hg.num_pins,
+        mean_net_size=(sum(net_sizes) / len(net_sizes)) if net_sizes else 0.0,
+        max_net_size=max(net_sizes, default=0),
+        mean_degree=(sum(degrees) / len(degrees)) if degrees else 0.0,
+        max_degree=max(degrees, default=0),
+        total_area=hg.total_area,
+        max_area=hg.max_area,
+    )
+
+
+def net_size_histogram(hg: Hypergraph) -> Dict[int, int]:
+    """Map net size -> number of nets of that size."""
+    return dict(Counter(hg.net_size(e) for e in hg.all_nets()))
+
+
+def degree_histogram(hg: Hypergraph) -> Dict[int, int]:
+    """Map module degree -> number of modules of that degree."""
+    return dict(Counter(hg.degree(v) for v in hg.modules()))

@@ -1,0 +1,28 @@
+"""Partitioning substrate: solutions, balance constraints, incremental
+move bookkeeping, and reference objective functions."""
+
+from .balance import DEFAULT_TOLERANCE, BalanceConstraint
+from .io import read_assignment, write_assignment
+from .metrics import absorption, ratio_cut, scaled_cost, summarize
+from .objectives import cut, soed, spans
+from .rebalance import rebalance_random
+from .solution import Partition, random_partition
+from .state import PartitionState
+
+__all__ = [
+    "Partition",
+    "random_partition",
+    "BalanceConstraint",
+    "DEFAULT_TOLERANCE",
+    "PartitionState",
+    "cut",
+    "soed",
+    "spans",
+    "ratio_cut",
+    "scaled_cost",
+    "absorption",
+    "summarize",
+    "rebalance_random",
+    "read_assignment",
+    "write_assignment",
+]

@@ -1,0 +1,83 @@
+"""Balance (size) constraints.
+
+The paper's bipartitioning constraint (Sections I and III-B): with
+balance tolerance ``r``, each side's area must lie within
+
+    A(V)/2  -  max(A(v*), r * A(V))   and
+    A(V)/2  +  max(A(v*), r * A(V))
+
+where ``v*`` is the largest module.  The ``max(A(v*), .)`` term keeps
+the constraint satisfiable on coarsened netlists whose merged modules
+can individually exceed ``r * A(V)``.  We generalise the same form to
+``k`` parts around the target ``A(V)/k`` for quadrisection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import BalanceError
+from ..hypergraph import Hypergraph
+
+__all__ = ["BalanceConstraint", "DEFAULT_TOLERANCE"]
+
+#: The paper's standard experimental setting: 10% deviation from bisection.
+DEFAULT_TOLERANCE = 0.1
+
+
+@dataclass(frozen=True)
+class BalanceConstraint:
+    """Per-part area bounds ``lower <= A(part) <= upper``."""
+
+    lower: float
+    upper: float
+    k: int
+
+    @classmethod
+    def from_tolerance(cls, hg: Hypergraph, r: float = DEFAULT_TOLERANCE,
+                       k: int = 2) -> "BalanceConstraint":
+        """The paper's constraint for tolerance ``r`` (Section III-B)."""
+        if not 0 <= r < 1:
+            raise BalanceError(f"tolerance r must be in [0, 1), got {r}")
+        if k < 2:
+            raise BalanceError(f"k must be >= 2, got {k}")
+        target = hg.total_area / k
+        slack = max(hg.max_area, r * hg.total_area)
+        return cls(lower=max(0.0, target - slack), upper=target + slack, k=k)
+
+    # ------------------------------------------------------------------
+
+    def is_feasible(self, part_areas: Sequence[float]) -> bool:
+        """True when every part's area is within bounds."""
+        if len(part_areas) != self.k:
+            raise BalanceError(
+                f"expected {self.k} part areas, got {len(part_areas)}")
+        return all(self.lower <= a <= self.upper for a in part_areas)
+
+    def violations(self, part_areas: Sequence[float]) -> List[int]:
+        """Indices of parts whose area is out of bounds."""
+        return [p for p, a in enumerate(part_areas)
+                if not self.lower <= a <= self.upper]
+
+    def move_allowed(self, area_src: float, area_dst: float,
+                     module_area: float) -> bool:
+        """Whether moving a module of ``module_area`` keeps both the
+        source and destination parts within bounds.
+
+        This is the feasibility test FM applies before each move.  Note
+        the asymmetry matters during refinement of a solution that is
+        *already* unbalanced (e.g. just projected): a move that reduces
+        the violation is allowed even if the destination side stays
+        above ``lower`` only marginally — we therefore only require the
+        *changed* sides to respect their own bound direction:
+        the shrinking side must stay ``>= lower`` and the growing side
+        ``<= upper``.
+        """
+        return (area_src - module_area >= self.lower
+                and area_dst + module_area <= self.upper)
+
+    def __post_init__(self):
+        if self.lower > self.upper:
+            raise BalanceError(
+                f"lower bound {self.lower} exceeds upper bound {self.upper}")

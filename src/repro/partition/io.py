@@ -1,0 +1,61 @@
+"""Reading and writing partition assignments.
+
+The exchange format is the simplest possible (and what hMETIS and
+friends emit): one part id per line, line ``i`` holding module ``i``'s
+part.  This lets solutions cross tool boundaries — e.g. evaluating an
+external partitioner's output with :func:`repro.partition.summarize`
+via ``repro evaluate``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from ..errors import ParseError
+from .solution import Partition
+
+__all__ = ["read_assignment", "write_assignment"]
+
+PathLike = Union[str, Path]
+
+
+def write_assignment(partition: Partition, path: PathLike) -> None:
+    """Write one part id per line."""
+    Path(path).write_text(
+        "\n".join(str(p) for p in partition.assignment) + "\n")
+
+
+def read_assignment(path: PathLike, k: Optional[int] = None,
+                    num_modules: Optional[int] = None) -> Partition:
+    """Read a one-part-id-per-line assignment file.
+
+    ``k`` defaults to ``max(id) + 1``; ``num_modules``, when given, is
+    validated against the line count.
+    """
+    values = []
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(),
+                                 start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            values.append(int(line))
+        except ValueError:
+            raise ParseError(f"non-integer part id {line!r}",
+                             lineno) from None
+    if not values:
+        raise ParseError("empty assignment file")
+    if num_modules is not None and len(values) != num_modules:
+        raise ParseError(
+            f"assignment covers {len(values)} modules, netlist has "
+            f"{num_modules}")
+    if min(values) < 0:
+        raise ParseError("negative part id")
+    actual_k = max(values) + 1
+    if k is None:
+        k = max(2, actual_k)
+    elif actual_k > k:
+        raise ParseError(
+            f"assignment uses part {actual_k - 1} but k={k}")
+    return Partition(values, k)

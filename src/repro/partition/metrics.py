@@ -1,0 +1,111 @@
+"""Classical partitioning quality metrics beyond plain net cut.
+
+The paper optimises min-cut under balance constraints, but the
+surrounding literature it cites evaluates partitions with several other
+standing metrics; they are provided here for analysis and for users
+comparing against ratio-cut-era results:
+
+* :func:`ratio_cut` — Wei–Cheng ratio cut ``cut(P) / (|X| * |Y|)``
+  (areas are used instead of cardinalities when modules are weighted).
+* :func:`scaled_cost` — Chan–Schlag–Zien scaled cost, the k-way
+  generalisation of ratio cut.
+* :func:`absorption` — Sun–Sechen absorption: how much net connectivity
+  the parts absorb (higher is better; equals ``num_nets`` weighted sum
+  when nothing is cut).
+* :func:`summarize` — one dict with everything, used by the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import PartitionError
+from ..hypergraph import Hypergraph
+from .balance import BalanceConstraint
+from .objectives import cut, soed, spans
+from .solution import Partition
+
+__all__ = ["ratio_cut", "scaled_cost", "absorption", "summarize"]
+
+
+def ratio_cut(hg: Hypergraph, partition: Partition) -> float:
+    """Wei–Cheng ratio cut for bipartitions: ``cut / (A(X) * A(Y))``.
+
+    Degenerate one-sided partitions have no defined ratio; raising is
+    more useful than returning infinity because such a solution is
+    never a legitimate comparison point.
+    """
+    if partition.k != 2:
+        raise PartitionError(
+            f"ratio_cut is defined for bipartitions, got k={partition.k}")
+    area_x, area_y = partition.part_areas(hg)
+    if area_x == 0 or area_y == 0:
+        raise PartitionError("ratio_cut undefined for an empty side")
+    return cut(hg, partition) / (area_x * area_y)
+
+
+def scaled_cost(hg: Hypergraph, partition: Partition) -> float:
+    """Chan–Schlag–Zien scaled cost.
+
+    ``(1 / (n (k-1))) * sum over parts p of cut(p) / A(p)`` where
+    ``cut(p)`` is the total weight of nets with pins both inside and
+    outside ``p``.  For ``k = 2`` this reduces (up to the constant) to
+    the ratio cut.
+    """
+    k = partition.k
+    areas = partition.part_areas(hg)
+    if any(a == 0 for a in areas):
+        raise PartitionError("scaled_cost undefined for an empty part")
+    part_cut = [0] * k
+    assignment = partition.assignment
+    for e in hg.all_nets():
+        parts = {assignment[v] for v in hg.pins(e)}
+        if len(parts) > 1:
+            w = hg.net_weight(e)
+            for p in parts:
+                part_cut[p] += w
+    n = hg.num_modules
+    return sum(part_cut[p] / areas[p] for p in range(k)) / (n * (k - 1))
+
+
+def absorption(hg: Hypergraph, partition: Partition) -> float:
+    """Sun–Sechen absorption metric (higher is better).
+
+    Each net contributes ``(pins_in_p - 1) / (|e| - 1)`` for every part
+    ``p`` it touches with at least one pin; an uncut net contributes
+    exactly 1, a fully shattered net close to 0.
+    """
+    assignment = partition.assignment
+    total = 0.0
+    for e in hg.all_nets():
+        pins = hg.pins(e)
+        per_part: Dict[int, int] = {}
+        for v in pins:
+            p = assignment[v]
+            per_part[p] = per_part.get(p, 0) + 1
+        share = sum(count - 1 for count in per_part.values())
+        total += hg.net_weight(e) * share / (len(pins) - 1)
+    return total
+
+
+def summarize(hg: Hypergraph, partition: Partition,
+              tolerance: float = 0.1) -> Dict[str, object]:
+    """All quality metrics of a solution in one dictionary."""
+    constraint = BalanceConstraint.from_tolerance(hg, tolerance,
+                                                  k=partition.k)
+    areas = partition.part_areas(hg)
+    summary: Dict[str, object] = {
+        "k": partition.k,
+        "cut": cut(hg, partition),
+        "soed": soed(hg, partition),
+        "absorption": absorption(hg, partition),
+        "part_areas": areas,
+        "balanced": constraint.is_feasible(areas),
+        "max_spans": max((spans(hg, partition, e)
+                          for e in hg.all_nets()), default=1),
+    }
+    if partition.k == 2 and all(a > 0 for a in areas):
+        summary["ratio_cut"] = ratio_cut(hg, partition)
+    if all(a > 0 for a in areas):
+        summary["scaled_cost"] = scaled_cost(hg, partition)
+    return summary

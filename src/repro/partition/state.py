@@ -1,0 +1,164 @@
+"""Incrementally maintained partitioning state.
+
+:class:`PartitionState` binds a hypergraph to a mutable assignment and
+keeps, under single-module moves:
+
+* per-net pin counts per part (``counts[p][e]``),
+* the number of parts each net spans,
+* the weighted cut and weighted sum-of-degrees objectives,
+* per-part total areas.
+
+This is the bookkeeping all the iterative engines (FM, CLIP, k-way FM,
+LSMC descents) share.  A state may be restricted to a subset of
+*active* nets — the FM engines exclude nets larger than a threshold
+(200 in the paper) and measure final quality on the full netlist via
+:mod:`repro.partition.objectives`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import PartitionError
+from ..hypergraph import Hypergraph
+from .solution import Partition
+
+__all__ = ["PartitionState"]
+
+
+class PartitionState:
+    """Mutable k-way partition with O(pins(v)) single-module moves."""
+
+    __slots__ = ("hg", "k", "part_of", "part_area", "counts", "spans",
+                 "cut_weight", "soed_weight", "active", "_active_nets")
+
+    def __init__(self, hg: Hypergraph, partition: Partition,
+                 active_nets: Optional[Sequence[int]] = None):
+        if partition.num_modules != hg.num_modules:
+            raise PartitionError(
+                f"partition covers {partition.num_modules} modules but "
+                f"hypergraph has {hg.num_modules}")
+        self.hg = hg
+        self.k = partition.k
+        self.part_of: List[int] = list(partition.assignment)
+
+        self.part_area = [0.0] * self.k
+        for v, p in enumerate(self.part_of):
+            self.part_area[p] += hg.area(v)
+
+        if active_nets is None:
+            self.active = [True] * hg.num_nets
+            self._active_nets = list(hg.all_nets())
+        else:
+            self.active = [False] * hg.num_nets
+            for e in active_nets:
+                self.active[e] = True
+            self._active_nets = sorted(set(active_nets))
+
+        self.counts: List[List[int]] = [[0] * hg.num_nets
+                                        for _ in range(self.k)]
+        self.spans: List[int] = [0] * hg.num_nets
+        self.cut_weight = 0
+        self.soed_weight = 0
+        for e in self._active_nets:
+            present = 0
+            for v in hg.pins(e):
+                p = self.part_of[v]
+                if self.counts[p][e] == 0:
+                    present += 1
+                self.counts[p][e] += 1
+            self.spans[e] = present
+            if present > 1:
+                w = hg.net_weight(e)
+                self.cut_weight += w
+                self.soed_weight += w * present
+
+    # ------------------------------------------------------------------
+
+    def active_nets(self) -> List[int]:
+        """Nets participating in incremental objective tracking."""
+        return list(self._active_nets)
+
+    def pins_in(self, part: int, net: int) -> int:
+        """Number of ``net``'s pins currently in ``part``."""
+        return self.counts[part][net]
+
+    def move(self, module: int, dst: int) -> None:
+        """Move ``module`` to part ``dst``, updating all bookkeeping."""
+        src = self.part_of[module]
+        if src == dst:
+            return
+        hg = self.hg
+        area = hg.area(module)
+        self.part_of[module] = dst
+        self.part_area[src] -= area
+        self.part_area[dst] += area
+
+        counts_src = self.counts[src]
+        counts_dst = self.counts[dst]
+        active = self.active
+        spans = self.spans
+        for e in hg.nets(module):
+            if not active[e]:
+                continue
+            w = hg.net_weight(e)
+            s = spans[e]
+            counts_src[e] -= 1
+            if counts_src[e] == 0:
+                s -= 1
+                self.soed_weight -= w if s > 1 else (2 * w if s == 1 else 0)
+                if s == 1:
+                    self.cut_weight -= w
+            counts_dst[e] += 1
+            if counts_dst[e] == 1:
+                s += 1
+                self.soed_weight += w if s > 2 else (2 * w if s == 2 else 0)
+                if s == 2:
+                    self.cut_weight += w
+            spans[e] = s
+
+    # ------------------------------------------------------------------
+
+    def to_partition(self) -> Partition:
+        """Snapshot the current assignment."""
+        return Partition(list(self.part_of), self.k)
+
+    def verify(self) -> None:
+        """Recompute every cached quantity and raise on any mismatch.
+
+        Used by tests and by the engines' debug mode; O(pins).
+        """
+        hg = self.hg
+        areas = [0.0] * self.k
+        for v, p in enumerate(self.part_of):
+            areas[p] += hg.area(v)
+        for p in range(self.k):
+            if abs(areas[p] - self.part_area[p]) > 1e-6:
+                raise PartitionError(
+                    f"part {p} cached area {self.part_area[p]} != "
+                    f"actual {areas[p]}")
+        cut_w = 0
+        soed_w = 0
+        for e in self._active_nets:
+            per_part = [0] * self.k
+            for v in hg.pins(e):
+                per_part[self.part_of[v]] += 1
+            s = sum(1 for c in per_part if c)
+            for p in range(self.k):
+                if per_part[p] != self.counts[p][e]:
+                    raise PartitionError(
+                        f"net {e} part {p}: cached count "
+                        f"{self.counts[p][e]} != actual {per_part[p]}")
+            if s != self.spans[e]:
+                raise PartitionError(
+                    f"net {e}: cached spans {self.spans[e]} != actual {s}")
+            if s > 1:
+                w = hg.net_weight(e)
+                cut_w += w
+                soed_w += w * s
+        if cut_w != self.cut_weight:
+            raise PartitionError(
+                f"cached cut {self.cut_weight} != actual {cut_w}")
+        if soed_w != self.soed_weight:
+            raise PartitionError(
+                f"cached soed {self.soed_weight} != actual {soed_w}")

@@ -1,0 +1,13 @@
+"""Top-down placement built on multilevel quadrisection, with terminal
+propagation and wirelength scoring (the paper's [24] application)."""
+
+from .quadplace import PlacementResult, Region, quadrisection_placement
+from .wirelength import hpwl, total_quadratic_wirelength
+
+__all__ = [
+    "quadrisection_placement",
+    "PlacementResult",
+    "Region",
+    "hpwl",
+    "total_quadratic_wirelength",
+]

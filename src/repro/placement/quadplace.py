@@ -1,0 +1,197 @@
+"""Top-down placement by recursive multilevel quadrisection.
+
+The paper's quadrisection algorithm "has been used as the basis for an
+effective cell placement package" [24] (Sections I, III-C, IV-D).  This
+module implements that flow: the layout region is recursively split
+into quadrants, each region's subcircuit is 4-way partitioned with
+:func:`repro.core.ml_quadrisection`, and nets crossing a region's
+border are handled by *terminal propagation* — every external net
+contributes a zero-movement terminal pre-assigned to the quadrant
+nearest the net's outside pins, exactly the pre-assigned-pad mechanism
+Section III-C describes.
+
+The result is a coordinate for every module (the centre of its final
+region), scored by half-perimeter wirelength.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import MLConfig
+from ..core.quadrisection import default_quad_config, ml_quadrisection
+from ..errors import PartitionError
+from ..hypergraph import Hypergraph
+from ..rng import SeedLike, make_rng
+from ..fm.kway import kway_partition
+from .wirelength import hpwl
+
+__all__ = ["PlacementResult", "Region", "quadrisection_placement"]
+
+#: Terminals carry negligible area so they never distort the balance
+#: constraint of the region they are propagated into.
+_TERMINAL_AREA = 1e-6
+
+
+@dataclass
+class Region:
+    """An axis-aligned layout region holding a set of modules."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+    modules: List[int]
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.x0 + self.x1) / 2, (self.y0 + self.y1) / 2)
+
+    def quadrant_centers(self) -> List[Tuple[float, float]]:
+        """Centres of the four child quadrants, part-indexed as
+        0 = left-bottom, 1 = left-top, 2 = right-bottom, 3 = right-top."""
+        mx, my = self.center
+        return [((self.x0 + mx) / 2, (self.y0 + my) / 2),
+                ((self.x0 + mx) / 2, (my + self.y1) / 2),
+                ((mx + self.x1) / 2, (self.y0 + my) / 2),
+                ((mx + self.x1) / 2, (my + self.y1) / 2)]
+
+    def children(self) -> List["Region"]:
+        mx, my = self.center
+        return [Region(self.x0, self.y0, mx, my, []),
+                Region(self.x0, my, mx, self.y1, []),
+                Region(mx, self.y0, self.x1, my, []),
+                Region(mx, my, self.x1, self.y1, [])]
+
+
+@dataclass
+class PlacementResult:
+    """Final coordinates and quality of a top-down placement."""
+
+    x: List[float]
+    y: List[float]
+    hpwl: float
+    levels: int
+    regions: List[Region]
+
+
+def _region_subproblem(hg: Hypergraph, region: Region,
+                       x: List[float], y: List[float]
+                       ) -> Tuple[Hypergraph, List[int], List[int]]:
+    """Extract the region's subcircuit with propagated terminals.
+
+    Returns ``(sub_hg, local_of_global, fixed)`` where ``fixed`` maps
+    each local module to a pre-assigned quadrant (or ``-1`` for free
+    movable modules).  One terminal is created per external net, placed
+    at the quadrant nearest the mean position of the net's outside pins.
+    """
+    inside = {v: i for i, v in enumerate(region.modules)}
+    quadrant_xy = region.quadrant_centers()
+
+    nets: List[List[int]] = []
+    weights: List[int] = []
+    areas: List[float] = [hg.area(v) for v in region.modules]
+    fixed: List[int] = [-1] * len(region.modules)
+
+    for e in hg.all_nets():
+        pins = hg.pins(e)
+        local = [inside[v] for v in pins if v in inside]
+        if len(local) < (2 if len(local) == len(pins) else 1):
+            continue
+        if len(local) == len(pins):
+            nets.append(local)
+            weights.append(hg.net_weight(e))
+            continue
+        # External net: add a terminal pinned to the nearest quadrant.
+        outside = [v for v in pins if v not in inside]
+        ox = sum(x[v] for v in outside) / len(outside)
+        oy = sum(y[v] for v in outside) / len(outside)
+        quadrant = min(range(4), key=lambda q: (
+            (quadrant_xy[q][0] - ox) ** 2 + (quadrant_xy[q][1] - oy) ** 2))
+        terminal = len(areas)
+        areas.append(_TERMINAL_AREA)
+        fixed.append(quadrant)
+        nets.append(local + [terminal])
+        weights.append(hg.net_weight(e))
+
+    sub = Hypergraph(nets, num_modules=len(areas), areas=areas,
+                     net_weights=weights,
+                     name=f"{hg.name}/region")
+    return sub, list(region.modules), fixed
+
+
+def quadrisection_placement(hg: Hypergraph,
+                            levels: int = 3,
+                            config: Optional[MLConfig] = None,
+                            objective: str = "soed",
+                            min_region_modules: int = 16,
+                            seed: SeedLike = None,
+                            rng: Optional[random.Random] = None
+                            ) -> PlacementResult:
+    """Place ``hg`` on the unit square by recursive quadrisection.
+
+    ``levels`` recursions produce a ``2**levels x 2**levels`` grid of
+    final regions; regions smaller than ``min_region_modules`` stop
+    subdividing early.  Small regions (at or below four times the ML
+    coarsening threshold) are partitioned with flat k-way FM instead of
+    the full multilevel stack — coarsening cannot help there.
+    """
+    if levels < 1:
+        raise PartitionError(f"levels must be >= 1, got {levels}")
+    config = config or default_quad_config()
+    rng = rng if rng is not None else make_rng(seed)
+
+    x = [0.5] * hg.num_modules
+    y = [0.5] * hg.num_modules
+    frontier = [Region(0.0, 0.0, 1.0, 1.0, list(hg.modules()))]
+
+    for _ in range(levels):
+        next_frontier: List[Region] = []
+        for region in frontier:
+            if len(region.modules) < max(4, min_region_modules):
+                next_frontier.append(region)
+                continue
+            sub, globals_, fixed = _region_subproblem(hg, region, x, y)
+            movable = sum(1 for f in fixed if f < 0)
+            if movable < 4:
+                next_frontier.append(region)
+                continue
+            if movable <= 4 * config.coarsening_threshold:
+                lock = [f >= 0 for f in fixed]
+                assignment = None
+                result = kway_partition(
+                    sub, k=4,
+                    initial=_seeded_initial(sub, fixed, rng),
+                    config=config.engine_config(), objective=objective,
+                    rng=rng, fixed=lock)
+                assignment = result.partition.assignment
+            else:
+                result = ml_quadrisection(sub, config=config,
+                                          objective=objective,
+                                          fixed=fixed, rng=rng)
+                assignment = result.partition.assignment
+
+            children = region.children()
+            for local, v in enumerate(globals_):
+                child = children[assignment[local]]
+                child.modules.append(v)
+                cx, cy = child.center
+                x[v], y[v] = cx, cy
+            next_frontier.extend(children)
+        frontier = next_frontier
+
+    return PlacementResult(x=x, y=y, hpwl=hpwl(hg, x, y),
+                           levels=levels, regions=frontier)
+
+
+def _seeded_initial(sub: Hypergraph, fixed: List[int],
+                    rng: random.Random):
+    """Random initial 4-way assignment honouring pre-assigned terminals."""
+    from ..partition import Partition
+
+    assignment = []
+    for v in range(sub.num_modules):
+        assignment.append(fixed[v] if fixed[v] >= 0 else rng.randrange(4))
+    return Partition(assignment, 4)

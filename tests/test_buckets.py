@@ -1,0 +1,198 @@
+"""Tests for the gain-bucket data structures."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fm import LinkedListBuckets, RandomBuckets, make_buckets
+
+
+class TestLinkedListLifo:
+    def test_insert_pop_max(self):
+        b = LinkedListBuckets(5, max_gain=3, policy="lifo")
+        b.insert(0, 1)
+        b.insert(1, 3)
+        b.insert(2, -2)
+        assert b.pop_max() == 1
+        assert b.pop_max() == 0
+        assert b.pop_max() == 2
+        assert b.pop_max() is None
+
+    def test_lifo_order_within_bucket(self):
+        b = LinkedListBuckets(4, max_gain=2, policy="lifo")
+        for item in (0, 1, 2, 3):
+            b.insert(item, 2)
+        assert [b.pop_max() for _ in range(4)] == [3, 2, 1, 0]
+
+    def test_fifo_order_within_bucket(self):
+        b = LinkedListBuckets(4, max_gain=2, policy="fifo")
+        for item in (0, 1, 2, 3):
+            b.insert(item, 2)
+        assert [b.pop_max() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_negative_gain_handled(self):
+        """Regression: a legitimate gain of -2 must not read as absent."""
+        b = LinkedListBuckets(2, max_gain=5, policy="lifo")
+        b.insert(0, -2)
+        assert b.contains(0)
+        assert b.gain_of(0) == -2
+        b.update(0, -2)
+        assert b.contains(0)
+
+    def test_update_moves_bucket(self):
+        b = LinkedListBuckets(3, max_gain=4, policy="lifo")
+        b.insert(0, 0)
+        b.insert(1, 2)
+        b.update(0, 4)
+        assert b.pop_max() == 0
+
+    def test_update_reinserts_at_head_lifo(self):
+        b = LinkedListBuckets(3, max_gain=2, policy="lifo")
+        b.insert(0, 1)
+        b.insert(1, 1)
+        b.update(0, 1)  # 0 should return to the head of its bucket
+        assert b.pop_max() == 0
+
+    def test_remove_middle(self):
+        b = LinkedListBuckets(3, max_gain=1, policy="lifo")
+        for item in (0, 1, 2):
+            b.insert(item, 1)
+        b.remove(1)
+        assert [b.pop_max() for _ in range(2)] == [2, 0]
+
+    def test_len(self):
+        b = LinkedListBuckets(3, max_gain=1, policy="lifo")
+        assert len(b) == 0
+        b.insert(0, 0)
+        b.insert(1, 1)
+        assert len(b) == 2
+        b.remove(0)
+        assert len(b) == 1
+
+    def test_double_insert_rejected(self):
+        b = LinkedListBuckets(2, max_gain=1, policy="lifo")
+        b.insert(0, 0)
+        with pytest.raises(ConfigError, match="already"):
+            b.insert(0, 1)
+
+    def test_remove_absent_rejected(self):
+        b = LinkedListBuckets(2, max_gain=1, policy="lifo")
+        with pytest.raises(ConfigError, match="not in buckets"):
+            b.remove(0)
+
+    def test_gain_out_of_range_rejected(self):
+        b = LinkedListBuckets(2, max_gain=1, policy="lifo")
+        with pytest.raises(ConfigError, match="outside"):
+            b.insert(0, 2)
+
+    def test_iter_desc_order(self):
+        b = LinkedListBuckets(6, max_gain=3, policy="lifo")
+        gains = {0: 3, 1: -3, 2: 0, 3: 0, 4: 2, 5: -1}
+        for item, gain in gains.items():
+            b.insert(item, gain)
+        order = list(b.iter_desc())
+        assert [gains[i] for i in order] == \
+            sorted((gains[i] for i in order), reverse=True)
+        assert len(order) == 6
+
+    def test_top_pointer_recovers_after_refill(self):
+        b = LinkedListBuckets(3, max_gain=3, policy="lifo")
+        b.insert(0, 3)
+        b.remove(0)
+        b.insert(1, 0)
+        assert b.pop_max() == 1
+        b.insert(2, 3)
+        assert b.pop_max() == 2
+
+
+class TestRandomBuckets:
+    def test_always_from_top_bucket(self):
+        rng = random.Random(0)
+        b = RandomBuckets(10, max_gain=2, rng=rng)
+        for item in range(8):
+            b.insert(item, 0)
+        b.insert(8, 2)
+        b.insert(9, 2)
+        assert b.pop_max() in (8, 9)
+        assert b.pop_max() in (8, 9)
+        assert b.pop_max() < 8
+
+    def test_uniformity_over_top_bucket(self):
+        counts = {0: 0, 1: 0, 2: 0}
+        for trial in range(300):
+            rng = random.Random(trial)
+            b = RandomBuckets(3, max_gain=0, rng=rng)
+            for item in range(3):
+                b.insert(item, 0)
+            counts[b.pop_max()] += 1
+        assert all(count > 50 for count in counts.values())
+
+    def test_remove_arbitrary(self):
+        b = RandomBuckets(4, max_gain=0, rng=random.Random(1))
+        for item in range(4):
+            b.insert(item, 0)
+        b.remove(2)
+        remaining = {b.pop_max() for _ in range(3)}
+        assert remaining == {0, 1, 3}
+
+    def test_negative_gain_handled(self):
+        b = RandomBuckets(2, max_gain=5, rng=random.Random(2))
+        b.insert(0, -2)
+        assert b.contains(0)
+        b.update(0, -4)
+        assert b.gain_of(0) == -4
+
+    def test_len_tracking(self):
+        b = RandomBuckets(3, max_gain=1, rng=random.Random(3))
+        b.insert(0, 1)
+        b.insert(1, -1)
+        assert len(b) == 2
+        b.pop_max()
+        assert len(b) == 1
+
+
+class TestFactory:
+    def test_policies(self):
+        assert isinstance(make_buckets(4, 2, "lifo"), LinkedListBuckets)
+        assert isinstance(make_buckets(4, 2, "fifo"), LinkedListBuckets)
+        assert isinstance(make_buckets(4, 2, "random"), RandomBuckets)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError, match="unknown bucket policy"):
+            make_buckets(4, 2, "stack")
+
+    def test_negative_max_gain(self):
+        with pytest.raises(ConfigError):
+            make_buckets(4, -1, "lifo")
+
+
+class TestAgainstNaiveModel:
+    """Randomised differential test: buckets vs a sorted-list oracle."""
+
+    @pytest.mark.parametrize("policy", ["lifo", "fifo"])
+    def test_max_gain_always_agrees(self, policy):
+        rng = random.Random(42)
+        n, max_gain = 30, 8
+        b = make_buckets(n, max_gain, policy)
+        model = {}  # item -> gain
+        for step in range(600):
+            action = rng.random()
+            if action < 0.4 and len(model) < n:
+                item = rng.choice([i for i in range(n) if i not in model])
+                gain = rng.randint(-max_gain, max_gain)
+                b.insert(item, gain)
+                model[item] = gain
+            elif action < 0.7 and model:
+                item = rng.choice(list(model))
+                gain = rng.randint(-max_gain, max_gain)
+                b.update(item, gain)
+                model[item] = gain
+            elif model:
+                item = rng.choice(list(model))
+                b.remove(item)
+                del model[item]
+            if model:
+                top = next(iter(b.iter_desc()))
+                assert model[top] == max(model.values())
+            assert len(b) == len(model)

@@ -1,0 +1,101 @@
+"""Unit tests for HypergraphBuilder."""
+
+import pytest
+
+from repro.errors import HypergraphError
+from repro.hypergraph import HypergraphBuilder
+
+
+class TestModules:
+    def test_indices_assigned_in_order(self):
+        b = HypergraphBuilder()
+        assert b.add_module("a") == 0
+        assert b.add_module("b") == 1
+        assert b.add_module("c", area=2.5) == 2
+
+    def test_reregistration_returns_same_index(self):
+        b = HypergraphBuilder()
+        assert b.add_module("a") == 0
+        assert b.add_module("a") == 0
+        assert b.num_modules == 1
+
+    def test_reregistration_with_different_area_fails(self):
+        b = HypergraphBuilder()
+        b.add_module("a", area=1.0)
+        with pytest.raises(HypergraphError, match="re-registered"):
+            b.add_module("a", area=2.0)
+
+    def test_nonpositive_area_rejected(self):
+        b = HypergraphBuilder()
+        with pytest.raises(HypergraphError, match="non-positive"):
+            b.add_module("a", area=-1.0)
+
+    def test_module_index_unknown(self):
+        b = HypergraphBuilder()
+        with pytest.raises(HypergraphError, match="unknown module"):
+            b.module_index("ghost")
+
+    def test_module_names_in_index_order(self):
+        b = HypergraphBuilder()
+        b.add_module("z")
+        b.add_module("a")
+        assert b.module_names() == ["z", "a"]
+
+
+class TestNets:
+    def test_auto_add_modules(self):
+        b = HypergraphBuilder()
+        assert b.add_net(["a", "b", "c"]) == 0
+        assert b.num_modules == 3
+
+    def test_no_auto_add_raises(self):
+        b = HypergraphBuilder()
+        b.add_module("a")
+        with pytest.raises(HypergraphError, match="unknown"):
+            b.add_net(["a", "b"], auto_add=False)
+
+    def test_duplicate_pins_collapsed(self):
+        b = HypergraphBuilder()
+        b.add_net(["a", "b", "a"])
+        hg = b.build()
+        assert hg.net_size(0) == 2
+
+    def test_degenerate_net_rejected_by_default(self):
+        b = HypergraphBuilder()
+        with pytest.raises(HypergraphError, match="fewer than two"):
+            b.add_net(["a", "a"])
+
+    def test_degenerate_net_skipped_when_configured(self):
+        b = HypergraphBuilder(skip_degenerate_nets=True)
+        assert b.add_net(["a", "a"]) is None
+        assert b.num_nets == 0
+        assert b.dropped_nets == 1
+
+    def test_nonpositive_weight_rejected(self):
+        b = HypergraphBuilder()
+        with pytest.raises(HypergraphError, match="weight"):
+            b.add_net(["a", "b"], weight=0)
+
+
+class TestBuild:
+    def test_roundtrip(self):
+        b = HypergraphBuilder(name="circ")
+        b.add_module("m0", area=2.0)
+        b.add_net(["m0", "m1"], weight=3)
+        b.add_net(["m1", "m2", "m0"])
+        hg = b.build()
+        assert hg.name == "circ"
+        assert hg.num_modules == 3
+        assert hg.num_nets == 2
+        assert hg.area(0) == 2.0
+        assert hg.area(1) == 1.0
+        assert hg.net_weight(0) == 3
+        assert hg.pins(1) == (1, 2, 0)
+
+    def test_build_empty_nets_ok(self):
+        b = HypergraphBuilder()
+        b.add_module("only")
+        b.add_module("two")
+        hg = b.build()
+        assert hg.num_modules == 2
+        assert hg.num_nets == 0

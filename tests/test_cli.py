@@ -1,0 +1,130 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.hypergraph import read_hmetis, write_hmetis, load_circuit
+
+
+@pytest.fixture
+def netlist_file(tmp_path):
+    path = tmp_path / "circ.hgr"
+    write_hmetis(load_circuit("struct", scale=0.05, seed=0), path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_partition_defaults(self):
+        args = build_parser().parse_args(["partition", "x.hgr"])
+        assert args.algorithm == "mlc"
+        assert args.k == 2
+        assert args.ratio == 0.5
+        assert args.threshold == 35
+
+    def test_generate_rejects_unknown_circuit(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "nonsense"])
+
+
+class TestInfo:
+    def test_prints_characteristics(self, netlist_file, capsys):
+        assert main(["info", netlist_file]) == 0
+        out = capsys.readouterr().out
+        assert "modules:" in out
+        assert "98" in out  # struct at 0.05 scale
+
+    def test_missing_file(self, capsys):
+        assert main(["info", "/nonexistent.hgr"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestGenerate:
+    def test_writes_hmetis(self, tmp_path, capsys):
+        out = str(tmp_path / "balu.hgr")
+        assert main(["generate", "balu", "--scale", "0.05",
+                     "-o", out]) == 0
+        hg = read_hmetis(out)
+        assert hg.num_modules == 40
+
+    def test_writes_json(self, tmp_path):
+        out = str(tmp_path / "balu.json")
+        assert main(["generate", "balu", "--scale", "0.05",
+                     "-o", out]) == 0
+        from repro.hypergraph import read_json
+        assert read_json(out).num_modules == 40
+
+
+class TestPartition:
+    @pytest.mark.parametrize("algorithm",
+                             ["mlc", "mlf", "fm", "clip", "spectral"])
+    def test_algorithms_run(self, netlist_file, capsys, algorithm):
+        assert main(["partition", netlist_file,
+                     "--algorithm", algorithm]) == 0
+        out = capsys.readouterr().out
+        assert "min cut:" in out
+        assert "feasible: True" in out
+
+    def test_lsmc_with_descents(self, netlist_file, capsys):
+        assert main(["partition", netlist_file, "--algorithm", "lsmc",
+                     "--descents", "2"]) == 0
+        assert "min cut:" in capsys.readouterr().out
+
+    def test_multirun_reports_average(self, netlist_file, capsys):
+        assert main(["partition", netlist_file, "--runs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "avg cut:" in out
+        assert "all cuts:" in out
+
+    def test_quadrisection(self, netlist_file, capsys):
+        assert main(["partition", netlist_file, "-k", "4",
+                     "--algorithm", "mlf"]) == 0
+        out = capsys.readouterr().out
+        assert "k=4" in out
+
+    def test_k4_with_flat_algorithm_fails(self, netlist_file, capsys):
+        assert main(["partition", netlist_file, "-k", "4",
+                     "--algorithm", "fm"]) == 2
+        assert "requires a multilevel" in capsys.readouterr().err
+
+    def test_assignment_output(self, netlist_file, tmp_path, capsys):
+        out = tmp_path / "parts.txt"
+        assert main(["partition", netlist_file,
+                     "--output", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert len(lines) == 98
+        assert set(lines) <= {"0", "1"}
+
+    def test_vcycles_option(self, netlist_file, capsys):
+        assert main(["partition", netlist_file, "--vcycles", "1"]) == 0
+        assert "min cut:" in capsys.readouterr().out
+
+    def test_deterministic_across_invocations(self, netlist_file, capsys):
+        main(["partition", netlist_file, "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["partition", netlist_file, "--seed", "9"])
+        second = capsys.readouterr().out
+        # CPU line differs; cut lines must match
+        assert [l for l in first.splitlines() if "cut" in l] == \
+            [l for l in second.splitlines() if "cut" in l]
+
+
+class TestBench:
+    def test_table_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "42"])
+
+    def test_regenerates_table1(self, capsys):
+        assert main(["bench", "1", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "struct" in out
+
+    def test_regenerates_table3(self, capsys):
+        assert main(["bench", "3", "--scale", "0.05", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "AVG CLIP" in out

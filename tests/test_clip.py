@@ -1,0 +1,73 @@
+"""Tests for the CLIP engine variant."""
+
+import pytest
+
+from repro.fm import FMConfig, clip_bipartition, clip_config, fm_bipartition
+from repro.hypergraph import hierarchical_circuit
+from repro.partition import BalanceConstraint, cut
+from repro.rng import child_seeds
+
+
+class TestClipConfig:
+    def test_enables_clip(self):
+        assert clip_config().clip
+
+    def test_preserves_other_fields(self):
+        base = FMConfig(bucket_policy="fifo", tolerance=0.2)
+        derived = clip_config(base)
+        assert derived.clip
+        assert derived.bucket_policy == "fifo"
+        assert derived.tolerance == 0.2
+
+
+class TestClipCorrectness:
+    def test_cut_matches_reference(self, medium_hg):
+        result = clip_bipartition(medium_hg, seed=1)
+        assert result.cut == cut(medium_hg, result.partition)
+
+    def test_balance_respected(self, medium_hg):
+        constraint = BalanceConstraint.from_tolerance(medium_hg, 0.1)
+        for seed in child_seeds(2, 5):
+            result = clip_bipartition(medium_hg, seed=seed)
+            assert constraint.is_feasible(
+                result.partition.part_areas(medium_hg))
+
+    def test_deterministic(self, medium_hg):
+        assert clip_bipartition(medium_hg, seed=3).cut == \
+            clip_bipartition(medium_hg, seed=3).cut
+
+    def test_improves_on_initial(self, medium_hg):
+        for seed in child_seeds(4, 5):
+            result = clip_bipartition(medium_hg, seed=seed)
+            assert result.cut <= result.initial_cut
+
+    def test_finds_planted_bridge(self, tiny_hg):
+        assert clip_bipartition(tiny_hg, seed=0).cut == 1
+
+    @pytest.mark.parametrize("policy", ["lifo", "fifo"])
+    def test_clip_with_either_linked_policy(self, medium_hg, policy):
+        config = FMConfig(clip=True, bucket_policy=policy)
+        result = fm_bipartition(medium_hg, config=config, seed=5)
+        assert result.cut == cut(medium_hg, result.partition)
+
+
+class TestClipBehaviour:
+    def test_clip_differs_from_fm(self, medium_hg):
+        """CLIP explores a different trajectory than FM from the same
+        seed (the bucket reorganisation changes move order)."""
+        fm_cuts = [fm_bipartition(medium_hg, seed=s).cut
+                   for s in child_seeds(6, 6)]
+        clip_cuts = [clip_bipartition(medium_hg, seed=s).cut
+                     for s in child_seeds(6, 6)]
+        assert fm_cuts != clip_cuts
+
+    def test_clip_average_not_worse_at_scale(self):
+        """Table III's direction: CLIP's average cut <= FM's, with a
+        small slack for the reduced instance size."""
+        hg = hierarchical_circuit(900, 1100, seed=31)
+        seeds = child_seeds(8, 8)
+        fm_avg = sum(fm_bipartition(hg, seed=s).cut
+                     for s in seeds) / len(seeds)
+        clip_avg = sum(clip_bipartition(hg, seed=s).cut
+                       for s in seeds) / len(seeds)
+        assert clip_avg <= fm_avg * 1.10

@@ -1,0 +1,218 @@
+"""Tests for Clustering, Match, Induce, and Project."""
+
+import pytest
+
+from repro.clustering import (Clustering, connectivity, induce, match,
+                              project)
+from repro.errors import ClusteringError, ConfigError
+from repro.hypergraph import Hypergraph, hierarchical_circuit
+from repro.partition import Partition, cut
+from repro.rng import child_seeds
+
+
+class TestClusteringObject:
+    def test_basic(self):
+        c = Clustering([0, 0, 1, 2, 1])
+        assert c.num_modules == 5
+        assert c.num_clusters == 3
+        assert c.groups() == [[0, 1], [2, 4], [3]]
+
+    def test_from_groups(self):
+        c = Clustering.from_groups([[0, 2], [1], [3, 4]], num_modules=5)
+        assert c.cluster_of == [0, 1, 0, 2, 2]
+
+    def test_from_groups_overlap_rejected(self):
+        with pytest.raises(ClusteringError, match="appears in clusters"):
+            Clustering.from_groups([[0, 1], [1, 2]], num_modules=3)
+
+    def test_from_groups_uncovered_rejected(self):
+        with pytest.raises(ClusteringError, match="not covered"):
+            Clustering.from_groups([[0]], num_modules=2)
+
+    def test_noncontiguous_ids_rejected(self):
+        with pytest.raises(ClusteringError, match="contiguous"):
+            Clustering([0, 2])
+
+    def test_cluster_areas(self, weighted_hg):
+        c = Clustering([0, 0, 1, 1])
+        assert c.cluster_areas(weighted_hg) == [3.0, 7.0]
+
+    def test_max_cluster_size(self):
+        assert Clustering([0, 0, 0, 1]).max_cluster_size() == 3
+
+
+class TestConnectivity:
+    def test_formula(self):
+        hg = Hypergraph([[0, 1], [0, 1, 2]], num_modules=3,
+                        areas=[2.0, 3.0, 1.0])
+        # nets: {0,1} size2 -> 1/1; {0,1,2} size3 -> 1/2; areas 2*3=6
+        assert connectivity(hg, 0, 1) == pytest.approx((1 + 0.5) / 6)
+
+    def test_symmetric(self, medium_hg):
+        assert connectivity(medium_hg, 3, 17) == \
+            pytest.approx(connectivity(medium_hg, 17, 3))
+
+    def test_zero_when_unconnected(self, tiny_hg):
+        assert connectivity(tiny_hg, 0, 5) == 0.0
+
+    def test_large_nets_ignored(self):
+        hg = Hypergraph([list(range(12)), [0, 1]], num_modules=12)
+        # only the 2-pin net counts; the 12-pin net exceeds the cutoff
+        assert connectivity(hg, 0, 1) == pytest.approx(1.0)
+        assert connectivity(hg, 2, 3) == 0.0
+
+
+class TestMatch:
+    def test_valid_clustering(self, medium_hg):
+        c = match(medium_hg, ratio=1.0, seed=0)
+        assert c.num_modules == medium_hg.num_modules
+        assert c.max_cluster_size() <= 2  # matching: pairs or singletons
+
+    def test_full_ratio_shrinks_instance(self, medium_hg):
+        c = match(medium_hg, ratio=1.0, seed=0)
+        assert c.num_clusters < medium_hg.num_modules
+
+    def test_ratio_controls_matched_fraction(self, large_hg):
+        """Lower R must leave more singletons (slower coarsening)."""
+        full = match(large_hg, ratio=1.0, seed=1).num_clusters
+        half = match(large_hg, ratio=0.5, seed=1).num_clusters
+        third = match(large_hg, ratio=0.33, seed=1).num_clusters
+        assert full < half < third < large_hg.num_modules
+
+    def test_half_ratio_bound(self, large_hg):
+        """With R=0.5 at most half the modules are matched, so at least
+        3n/4 clusters remain."""
+        c = match(large_hg, ratio=0.5, seed=2)
+        assert c.num_clusters >= int(0.75 * large_hg.num_modules) - 1
+
+    def test_deterministic(self, medium_hg):
+        a = match(medium_hg, ratio=0.7, seed=5)
+        b = match(medium_hg, ratio=0.7, seed=5)
+        assert a.cluster_of == b.cluster_of
+
+    @pytest.mark.parametrize("scheme", ["conn", "heavy", "random"])
+    def test_all_schemes_valid(self, medium_hg, scheme):
+        c = match(medium_hg, ratio=1.0, scheme=scheme, seed=3)
+        assert c.max_cluster_size() <= 2
+        assert c.num_clusters < medium_hg.num_modules
+
+    def test_prefers_strong_connection(self, monkeypatch):
+        """Visiting module 0 first: it shares two 2-pin nets with 1 but
+        only part of one 3-pin net with 2, so it must pair with 1."""
+        monkeypatch.setattr("repro.clustering.matching.random_permutation",
+                            lambda n, rng: list(range(n)))
+        hg = Hypergraph([[0, 1], [0, 1], [0, 2, 3]], num_modules=4)
+        c = match(hg, ratio=1.0, seed=0)
+        assert c.cluster_of[0] == c.cluster_of[1]
+        assert c.cluster_of[2] != c.cluster_of[0]
+
+    def test_area_term_prefers_small_partner(self, monkeypatch):
+        """Visiting module 0 first with two equally-connected partners
+        of different areas: conn's area term picks the smaller one."""
+        monkeypatch.setattr("repro.clustering.matching.random_permutation",
+                            lambda n, rng: list(range(n)))
+        hg = Hypergraph([[0, 2], [0, 1]], num_modules=3,
+                        areas=[1.0, 1.0, 10.0])
+        c = match(hg, ratio=1.0, scheme="conn", seed=0)
+        assert c.cluster_of[0] == c.cluster_of[1]
+
+    def test_heavy_scheme_ignores_area(self, monkeypatch):
+        """Same instance under the 'heavy' scheme: the area term is
+        gone, so the tie falls to the lower module index (2 comes from
+        the first net listed)."""
+        monkeypatch.setattr("repro.clustering.matching.random_permutation",
+                            lambda n, rng: list(range(n)))
+        hg = Hypergraph([[0, 2], [0, 1]], num_modules=3,
+                        areas=[1.0, 1.0, 10.0])
+        c = match(hg, ratio=1.0, scheme="heavy", seed=0)
+        assert c.cluster_of[0] == c.cluster_of[1]  # sorted order tie -> 1
+
+    def test_invalid_ratio(self, medium_hg):
+        with pytest.raises(ClusteringError):
+            match(medium_hg, ratio=0.0)
+        with pytest.raises(ClusteringError):
+            match(medium_hg, ratio=1.5)
+
+    def test_invalid_scheme(self, medium_hg):
+        with pytest.raises(ConfigError):
+            match(medium_hg, scheme="spectral")
+
+
+class TestInduce:
+    def test_definition_1(self):
+        hg = Hypergraph([[0, 1], [1, 2], [2, 3], [0, 3]], num_modules=4)
+        c = Clustering([0, 0, 1, 1])
+        coarse = induce(hg, c)
+        assert coarse.num_modules == 2
+        # nets {0,1} and {2,3} are absorbed; {1,2} and {0,3} merge into
+        # one weighted coarse net
+        assert coarse.num_nets == 1
+        assert coarse.net_weight(0) == 2
+
+    def test_area_preserved(self, weighted_hg):
+        c = Clustering([0, 0, 1, 1])
+        coarse = induce(weighted_hg, c)
+        assert coarse.area(0) == 3.0
+        assert coarse.area(1) == 7.0
+        assert coarse.total_area == weighted_hg.total_area
+
+    def test_no_merge_mode(self):
+        hg = Hypergraph([[0, 1], [1, 2], [2, 3], [0, 3]], num_modules=4)
+        c = Clustering([0, 0, 1, 1])
+        coarse = induce(hg, c, merge_parallel=False)
+        assert coarse.num_nets == 2
+        assert all(coarse.net_weight(e) == 1 for e in coarse.all_nets())
+
+    def test_weight_accumulates_across_levels(self):
+        hg = Hypergraph([[0, 1]] , num_modules=2, net_weights=[3])
+        # trivial clustering keeps both modules separate
+        coarse = induce(hg, Clustering([0, 1]))
+        assert coarse.net_weight(0) == 3
+
+    def test_size_mismatch(self, tiny_hg):
+        with pytest.raises(ClusteringError):
+            induce(tiny_hg, Clustering([0, 1]))
+
+
+class TestProject:
+    def test_definition_2(self):
+        c = Clustering([0, 0, 1, 1, 2])
+        coarse_solution = Partition([0, 1, 1], k=2)
+        fine = project(coarse_solution, c)
+        assert fine.assignment == [0, 0, 1, 1, 1]
+
+    def test_kway(self):
+        c = Clustering([0, 1, 1, 2])
+        fine = project(Partition([3, 0, 2], k=4), c)
+        assert fine.assignment == [3, 0, 0, 2]
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ClusteringError):
+            project(Partition([0, 1], k=2), Clustering([0, 1, 2]))
+
+
+class TestCutInvariant:
+    """The load-bearing multilevel invariant: a coarse solution's
+    weighted cut equals the cut of its projection on the fine netlist."""
+
+    def test_single_level(self, medium_hg):
+        c = match(medium_hg, ratio=1.0, seed=4)
+        coarse = induce(medium_hg, c)
+        from repro.partition import random_partition
+        coarse_solution = random_partition(coarse, seed=5)
+        fine_solution = project(coarse_solution, c)
+        assert cut(coarse, coarse_solution) == cut(medium_hg, fine_solution)
+
+    def test_across_three_levels(self, large_hg):
+        hgs = [large_hg]
+        clusterings = []
+        for level_seed in range(3):
+            c = match(hgs[-1], ratio=0.8, seed=level_seed)
+            clusterings.append(c)
+            hgs.append(induce(hgs[-1], c))
+        from repro.partition import random_partition
+        solution = random_partition(hgs[-1], seed=6)
+        coarse_cut = cut(hgs[-1], solution)
+        for c in reversed(clusterings):
+            solution = project(solution, c)
+        assert cut(large_hg, solution) == coarse_cut

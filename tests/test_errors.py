@@ -1,0 +1,34 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (BalanceError, ClusteringError, ConfigError,
+                          HypergraphError, ParseError, PartitionError,
+                          ReproError)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [HypergraphError, ParseError,
+                                     PartitionError, BalanceError,
+                                     ClusteringError, ConfigError])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_balance_is_partition_error(self):
+        assert issubclass(BalanceError, PartitionError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise BalanceError("x")
+
+
+class TestParseError:
+    def test_line_prefix(self):
+        err = ParseError("bad token", line=12)
+        assert "line 12" in str(err)
+        assert err.line == 12
+
+    def test_no_line(self):
+        err = ParseError("bad header")
+        assert str(err) == "bad header"
+        assert err.line is None

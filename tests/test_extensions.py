@@ -1,0 +1,133 @@
+"""Tests for the Section V future-work extensions: boundary FM,
+multiple coarsest-level starts, and recursive bisection."""
+
+import pytest
+
+from repro.core import MLConfig, ml_bipartition, recursive_bisection
+from repro.errors import ConfigError, PartitionError
+from repro.fm import FMConfig, fm_bipartition
+from repro.hypergraph import Hypergraph, hierarchical_circuit
+from repro.partition import BalanceConstraint, cut, random_partition
+from repro.rng import child_seeds
+
+
+class TestBoundaryFM:
+    def test_incompatible_with_clip(self):
+        with pytest.raises(ConfigError, match="boundary"):
+            FMConfig(boundary=True, clip=True)
+
+    def test_valid_solutions(self, medium_hg):
+        config = FMConfig(boundary=True)
+        for seed in child_seeds(0, 4):
+            result = fm_bipartition(medium_hg, config=config, seed=seed)
+            assert result.cut == cut(medium_hg, result.partition)
+            constraint = BalanceConstraint.from_tolerance(medium_hg, 0.1)
+            assert constraint.is_feasible(
+                result.partition.part_areas(medium_hg))
+
+    def test_never_worsens_initial(self, medium_hg):
+        initial = random_partition(medium_hg, seed=5)
+        before = cut(medium_hg, initial)
+        result = fm_bipartition(medium_hg, initial=initial,
+                                config=FMConfig(boundary=True), seed=5)
+        assert result.cut <= before
+
+    def test_fewer_moves_than_full_fm(self, large_hg):
+        """Boundary mode should touch far fewer modules per pass when
+        refining an already-good solution."""
+        good = fm_bipartition(large_hg, seed=1).partition
+        full = fm_bipartition(large_hg, initial=good, seed=2)
+        boundary = fm_bipartition(large_hg, initial=good,
+                                  config=FMConfig(boundary=True), seed=2)
+        assert boundary.total_moves < full.total_moves
+
+    def test_quality_close_to_full_fm(self, medium_hg):
+        seeds = child_seeds(7, 6)
+        full = [fm_bipartition(medium_hg, seed=s).cut for s in seeds]
+        bound = [fm_bipartition(medium_hg, config=FMConfig(boundary=True),
+                                seed=s).cut for s in seeds]
+        assert sum(bound) / len(bound) <= 1.35 * sum(full) / len(full)
+
+    def test_zero_cut_start_terminates(self):
+        """No boundary modules at all: the pass must simply end."""
+        hg = Hypergraph([[0, 1], [2, 3]], num_modules=4)
+        from repro.partition import Partition
+        perfect = Partition([0, 0, 1, 1], 2)
+        result = fm_bipartition(hg, initial=perfect,
+                                config=FMConfig(boundary=True), seed=0)
+        assert result.cut == 0
+
+    def test_inside_ml(self, large_hg):
+        config = MLConfig(engine="fm", fm=FMConfig(boundary=True))
+        result = ml_bipartition(large_hg, config=config, seed=3)
+        assert result.cut == cut(large_hg, result.partition)
+
+
+class TestCoarsestStarts:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            MLConfig(coarsest_starts=0)
+
+    def test_multiple_starts_never_worse(self, large_hg):
+        seeds = child_seeds(11, 4)
+        one = [ml_bipartition(large_hg, config=MLConfig(coarsest_starts=1),
+                              seed=s).cut for s in seeds]
+        many = [ml_bipartition(large_hg, config=MLConfig(coarsest_starts=8),
+                               seed=s).cut for s in seeds]
+        assert sum(many) <= sum(one) * 1.05
+
+    def test_counts_extra_passes(self, medium_hg):
+        one = ml_bipartition(medium_hg, config=MLConfig(coarsest_starts=1),
+                             seed=4)
+        many = ml_bipartition(medium_hg, config=MLConfig(coarsest_starts=5),
+                              seed=4)
+        assert many.total_passes > one.total_passes
+
+
+class TestRecursiveBisection:
+    def test_valid_k4(self, large_hg):
+        partition = recursive_bisection(large_hg, k=4, seed=1)
+        assert partition.k == 4
+        sizes = partition.part_sizes()
+        assert all(size > 0 for size in sizes)
+
+    def test_k8(self, large_hg):
+        partition = recursive_bisection(large_hg, k=8, seed=2)
+        assert partition.k == 8
+        assert len(set(partition.assignment)) == 8
+
+    def test_rejects_non_power_of_two(self, medium_hg):
+        with pytest.raises(PartitionError, match="power of two"):
+            recursive_bisection(medium_hg, k=3)
+
+    def test_rejects_too_few_modules(self):
+        hg = Hypergraph([[0, 1]], num_modules=2)
+        with pytest.raises(PartitionError):
+            recursive_bisection(hg, k=4)
+
+    def test_deterministic(self, medium_hg):
+        a = recursive_bisection(medium_hg, k=4, seed=3)
+        b = recursive_bisection(medium_hg, k=4, seed=3)
+        assert a == b
+
+    def test_roughly_balanced(self, large_hg):
+        partition = recursive_bisection(large_hg, k=4, seed=4)
+        sizes = partition.part_sizes()
+        expected = large_hg.num_modules / 4
+        assert all(0.5 * expected <= size <= 1.6 * expected
+                   for size in sizes)
+
+    def test_comparable_to_direct_kway(self, large_hg):
+        """Neither strategy should dominate by a huge factor."""
+        from repro.core import ml_quadrisection
+        direct = ml_quadrisection(large_hg, seed=5).cut
+        recursive = cut(large_hg, recursive_bisection(large_hg, k=4,
+                                                      seed=5))
+        assert recursive < 3 * direct
+        assert direct < 3 * recursive
+
+    def test_degenerate_tiny_subproblems(self):
+        hg = Hypergraph([[i, (i + 1) % 8] for i in range(8)],
+                        num_modules=8)
+        partition = recursive_bisection(hg, k=8, seed=0)
+        assert sorted(partition.part_sizes()) == [1] * 8

@@ -1,0 +1,114 @@
+"""Tests for the experiment harness (runner, formatting, literature)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness import (Algorithm, CellStats, TABLE_VII_CUTS,
+                           TABLE_VII_IMPROVEMENT, TABLE_VII_MLC,
+                           TABLE_VIII_CPU, format_number, format_table,
+                           percent_improvement, run_cell, run_matrix)
+from repro.hypergraph import hierarchical_circuit
+from repro.fm import fm_bipartition
+
+
+def _fm() -> Algorithm:
+    return Algorithm("FM", lambda hg, s: fm_bipartition(hg, seed=s))
+
+
+class TestRunner:
+    def test_run_cell_stats(self, medium_hg):
+        cell = run_cell(_fm(), medium_hg, runs=4, seed=0)
+        assert cell.runs == 4
+        assert cell.min_cut == min(cell.cuts)
+        assert cell.min_cut <= cell.avg_cut
+        assert cell.std_cut >= 0
+        assert cell.cpu_seconds > 0
+        assert cell.algorithm == "FM"
+        assert cell.circuit == "medium"
+
+    def test_run_cell_deterministic(self, medium_hg):
+        a = run_cell(_fm(), medium_hg, runs=3, seed=5)
+        b = run_cell(_fm(), medium_hg, runs=3, seed=5)
+        assert a.cuts == b.cuts
+
+    def test_run_cell_rejects_zero_runs(self, medium_hg):
+        with pytest.raises(ConfigError):
+            run_cell(_fm(), medium_hg, runs=0)
+
+    def test_run_matrix_shape(self):
+        circuits = [hierarchical_circuit(80, 100, seed=s, name=f"c{s}")
+                    for s in (1, 2)]
+        table = run_matrix([_fm()], circuits, runs=2, seed=0)
+        assert set(table) == {"c1", "c2"}
+        assert set(table["c1"]) == {"FM"}
+
+    def test_run_matrix_cells_stable_under_extension(self):
+        """Adding an algorithm must not change existing cells."""
+        circuits = [hierarchical_circuit(80, 100, seed=1, name="c")]
+        one = run_matrix([_fm()], circuits, runs=2, seed=0)
+        other = Algorithm("FM2", lambda hg, s: fm_bipartition(hg, seed=s))
+        two = run_matrix([_fm(), other], circuits, runs=2, seed=0)
+        assert one["c"]["FM"].cuts == two["c"]["FM"].cuts
+
+
+class TestFormatting:
+    def test_format_number(self):
+        assert format_number(None) == ""
+        assert format_number(42) == "42"
+        assert format_number(3.0) == "3"
+        assert format_number(3.14159, digits=2) == "3.14"
+        assert format_number("text") == "text"
+
+    def test_format_table_alignment(self):
+        out = format_table(["Name", "Val"], [["a", 1], ["bbbb", 22]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "Name" in lines[2]
+        # right-aligned numeric column
+        assert lines[-1].endswith("22")
+
+    def test_format_table_handles_none(self):
+        out = format_table(["A", "B"], [["x", None]])
+        assert "None" not in out
+
+
+class TestLiterature:
+    def test_mlc_covers_all_23(self):
+        assert len(TABLE_VII_MLC) == 23
+        assert TABLE_VII_MLC["golem3"]["100"] == 1346
+
+    def test_ten_run_never_beats_hundred(self):
+        for circuit, row in TABLE_VII_MLC.items():
+            assert row["10"] >= row["100"], circuit
+
+    def test_improvement_rows(self):
+        assert TABLE_VII_IMPROVEMENT["100"]["PB"] == 27.9
+        assert TABLE_VII_IMPROVEMENT["10"]["GMet"] == 8.4
+
+    def test_cpu_table_has_mlc_column(self):
+        assert TABLE_VIII_CPU["golem3"]["MLc10"] == 10483
+
+    def test_percent_improvement(self):
+        ours = {"a": 50, "b": 90}
+        theirs = {"a": 100, "b": 100}
+        assert percent_improvement(ours, theirs) == pytest.approx(30.0)
+
+    def test_percent_improvement_skips_none(self):
+        ours = {"a": 50}
+        theirs = {"a": 100, "b": None}
+        assert percent_improvement(ours, theirs) == pytest.approx(50.0)
+
+    def test_percent_improvement_empty(self):
+        assert percent_improvement({}, {"a": None}) is None
+
+    def test_paper_improvements_consistent_with_cut_tables(self):
+        """Recomputing % improvement from the transcribed per-circuit
+        cuts should land in the same ballpark as the paper's summary
+        row (not exact: blank/ambiguous cells are excluded)."""
+        ours = {c: row["100"] for c, row in TABLE_VII_MLC.items()}
+        theirs = {c: TABLE_VII_CUTS.get(c, {}).get("PB")
+                  for c in ours}
+        value = percent_improvement(ours, theirs)
+        assert value is not None
+        assert 15.0 < value < 40.0

@@ -1,0 +1,115 @@
+"""End-to-end integration tests across module boundaries."""
+
+import pytest
+
+from repro import (FMConfig, MLConfig, clip_bipartition, cut,
+                   fm_bipartition, hierarchical_circuit, load_circuit,
+                   ml_bipartition, ml_quadrisection, read_hmetis,
+                   write_hmetis)
+from repro.baselines import gordian_quadrisection, lsmc_bipartition
+from repro.clustering import induce, match, project
+from repro.core import build_hierarchy
+from repro.partition import BalanceConstraint, soed
+from repro.placement import quadrisection_placement
+from repro.rng import child_seeds
+
+
+class TestFullBipartitionPipeline:
+    def test_file_to_partition(self, tmp_path):
+        """generate -> write -> read -> ML -> verify, the CLI's path."""
+        original = load_circuit("s9234", scale=0.05, seed=0)
+        path = tmp_path / "c.hgr"
+        write_hmetis(original, path)
+        loaded = read_hmetis(path)
+        result = ml_bipartition(loaded, seed=1)
+        assert result.cut == cut(original, result.partition)
+
+    def test_hierarchy_then_manual_uncoarsen_matches_invariant(self):
+        """Building the hierarchy by hand and projecting a solution
+        down gives exactly the coarse cut at every step."""
+        hg = hierarchical_circuit(800, 960, seed=71)
+        hierarchy = build_hierarchy(hg, MLConfig(matching_ratio=0.7),
+                                    seed=2)
+        assert hierarchy.levels >= 3
+        coarse_result = fm_bipartition(hierarchy.coarsest, seed=3)
+        solution = coarse_result.partition
+        reference = cut(hierarchy.coarsest, solution)
+        for i in range(hierarchy.levels - 1, -1, -1):
+            solution = project(solution, hierarchy.clusterings[i])
+            assert cut(hierarchy.netlists[i], solution) == reference
+
+    def test_refinement_monotone_down_the_hierarchy(self):
+        """ML's reported per-level cuts never increase."""
+        hg = hierarchical_circuit(1200, 1440, seed=73)
+        result = ml_bipartition(hg, seed=4)
+        for earlier, later in zip(result.level_cuts,
+                                  result.level_cuts[1:]):
+            assert later <= earlier
+
+    def test_algorithm_ladder(self):
+        """Quality ordering over a suite circuit: ML_C average beats
+        flat CLIP average beats FIFO-FM average."""
+        hg = load_circuit("biomed", scale=0.15, seed=0)
+        seeds = child_seeds(5, 5)
+
+        def avg(fn):
+            return sum(fn(s).cut for s in seeds) / len(seeds)
+
+        mlc = avg(lambda s: ml_bipartition(
+            hg, config=MLConfig(engine="clip"), seed=s))
+        clip = avg(lambda s: clip_bipartition(hg, seed=s))
+        fifo = avg(lambda s: fm_bipartition(
+            hg, config=FMConfig(bucket_policy="fifo"), seed=s))
+        assert mlc <= clip <= fifo
+
+    def test_lsmc_with_ml_quality_band(self):
+        """LSMC with several descents approaches (but does not beat)
+        multilevel on clustered instances."""
+        hg = load_circuit("primary2", scale=0.15, seed=0)
+        ml = min(ml_bipartition(hg, seed=s).cut for s in child_seeds(6, 3))
+        lsmc = lsmc_bipartition(hg, descents=10, seed=6).cut
+        assert ml <= lsmc * 1.2
+
+
+class TestFullQuadrisectionPipeline:
+    def test_quad_vs_gordian_and_placement(self):
+        hg = load_circuit("s13207", scale=0.08, seed=0)
+        quad = ml_quadrisection(hg, seed=1)
+        gordian = gordian_quadrisection(hg, seed=1)
+        assert quad.cut < gordian.cut
+        assert soed(hg, quad.partition) == quad.soed
+
+        placement = quadrisection_placement(hg, levels=2, seed=1)
+        assert len(placement.regions) == 16
+        assert placement.hpwl > 0
+
+    def test_balance_holds_through_entire_stack(self):
+        hg = load_circuit("biomed", scale=0.08, seed=0)
+        constraint = BalanceConstraint.from_tolerance(hg, 0.1, k=4)
+        for seed in child_seeds(7, 3):
+            result = ml_quadrisection(hg, seed=seed)
+            assert constraint.is_feasible(
+                result.partition.part_areas(hg))
+
+
+class TestGoldenRegression:
+    """Exact-value pins: any behavioural drift in the engines, the
+    generators, or the seeding shows up here first.  If a change is
+    *intended* to alter results, update these values deliberately."""
+
+    def test_generator_fingerprint(self):
+        hg = hierarchical_circuit(100, 120, seed=2024)
+        fingerprint = (hg.num_pins, hg.pins(0), hg.pins(119))
+        assert fingerprint == (334, (63, 95, 27, 80), (64, 44))
+
+    def test_fm_cut_pinned(self):
+        hg = hierarchical_circuit(300, 360, seed=2024)
+        assert fm_bipartition(hg, seed=11).cut == 22
+
+    def test_clip_cut_pinned(self):
+        hg = hierarchical_circuit(300, 360, seed=2024)
+        assert clip_bipartition(hg, seed=11).cut == 21
+
+    def test_ml_cut_pinned(self):
+        hg = hierarchical_circuit(300, 360, seed=2024)
+        assert ml_bipartition(hg, seed=11).cut == 24

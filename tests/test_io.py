@@ -1,0 +1,124 @@
+"""Tests for hMETIS / JSON netlist I/O."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.hypergraph import (Hypergraph, assert_same_structure,
+                              hierarchical_circuit, read_hmetis, read_json,
+                              write_hmetis, write_json)
+
+
+class TestHmetisRead:
+    def test_unweighted(self, tmp_path):
+        path = tmp_path / "c.hgr"
+        path.write_text("3 4\n1 2\n2 3 4\n1 4\n")
+        hg = read_hmetis(path)
+        assert hg.num_nets == 3
+        assert hg.num_modules == 4
+        assert hg.pins(1) == (1, 2, 3)
+        assert hg.is_unit_area()
+
+    def test_weighted_nets(self, tmp_path):
+        path = tmp_path / "c.hgr"
+        path.write_text("2 3 1\n5 1 2\n7 2 3\n")
+        hg = read_hmetis(path)
+        assert hg.net_weight(0) == 5
+        assert hg.net_weight(1) == 7
+
+    def test_weighted_modules(self, tmp_path):
+        path = tmp_path / "c.hgr"
+        path.write_text("1 2 10\n1 2\n3\n4\n")
+        hg = read_hmetis(path)
+        assert hg.area(0) == 3.0
+        assert hg.area(1) == 4.0
+
+    def test_fully_weighted(self, tmp_path):
+        path = tmp_path / "c.hgr"
+        path.write_text("1 2 11\n9 1 2\n2\n5\n")
+        hg = read_hmetis(path)
+        assert hg.net_weight(0) == 9
+        assert hg.area(1) == 5.0
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "c.hgr"
+        path.write_text("% comment\n\n2 2\n% another\n1 2\n\n2 1\n")
+        hg = read_hmetis(path)
+        assert hg.num_nets == 2
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mycirc.hgr"
+        path.write_text("1 2\n1 2\n")
+        assert read_hmetis(path).name == "mycirc"
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "c.hgr"
+        path.write_text("")
+        with pytest.raises(ParseError, match="empty"):
+            read_hmetis(path)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "c.hgr"
+        path.write_text("2\n")
+        with pytest.raises(ParseError, match="header"):
+            read_hmetis(path)
+
+    def test_bad_fmt_code(self, tmp_path):
+        path = tmp_path / "c.hgr"
+        path.write_text("1 2 7\n1 2\n")
+        with pytest.raises(ParseError, match="fmt"):
+            read_hmetis(path)
+
+    def test_pin_out_of_range(self, tmp_path):
+        path = tmp_path / "c.hgr"
+        path.write_text("1 2\n1 3\n")
+        with pytest.raises(ParseError, match="out of range"):
+            read_hmetis(path)
+
+    def test_truncated_nets(self, tmp_path):
+        path = tmp_path / "c.hgr"
+        path.write_text("2 3\n1 2\n")
+        with pytest.raises(ParseError, match="expected 2 net lines"):
+            read_hmetis(path)
+
+    def test_non_integer_pin(self, tmp_path):
+        path = tmp_path / "c.hgr"
+        path.write_text("1 2\n1 x\n")
+        with pytest.raises(ParseError, match="non-integer"):
+            read_hmetis(path)
+
+
+class TestRoundtrips:
+    def test_hmetis_roundtrip_plain(self, tmp_path, tiny_hg):
+        path = tmp_path / "t.hgr"
+        write_hmetis(tiny_hg, path)
+        assert_same_structure(tiny_hg, read_hmetis(path))
+
+    def test_hmetis_roundtrip_weighted(self, tmp_path, weighted_hg):
+        path = tmp_path / "w.hgr"
+        write_hmetis(weighted_hg, path)
+        assert_same_structure(weighted_hg, read_hmetis(path))
+
+    def test_hmetis_roundtrip_generated(self, tmp_path):
+        hg = hierarchical_circuit(150, 180, seed=6)
+        path = tmp_path / "g.hgr"
+        write_hmetis(hg, path)
+        assert_same_structure(hg, read_hmetis(path))
+
+    def test_json_roundtrip(self, tmp_path, weighted_hg):
+        path = tmp_path / "w.json"
+        write_json(weighted_hg, path)
+        loaded = read_json(path)
+        assert_same_structure(weighted_hg, loaded)
+        assert loaded.name == "weighted"
+
+    def test_json_missing_key(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"nets": [[0, 1]]}')
+        with pytest.raises(ParseError, match="num_modules"):
+            read_json(path)
+
+    def test_json_invalid(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ParseError, match="invalid JSON"):
+            read_json(path)

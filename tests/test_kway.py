@@ -1,0 +1,113 @@
+"""Tests for the multi-way (Sanchis-style) FM engine."""
+
+import pytest
+
+from repro.errors import ConfigError, PartitionError
+from repro.fm import FMConfig, kway_partition
+from repro.hypergraph import Hypergraph
+from repro.partition import (BalanceConstraint, Partition, cut,
+                             random_partition, soed)
+from repro.rng import child_seeds
+
+
+class TestValidation:
+    def test_rejects_k1(self, medium_hg):
+        with pytest.raises(PartitionError):
+            kway_partition(medium_hg, k=1)
+
+    def test_rejects_bad_objective(self, medium_hg):
+        with pytest.raises(ConfigError, match="objective"):
+            kway_partition(medium_hg, k=4, objective="ratio")
+
+    def test_rejects_mismatched_initial(self, medium_hg):
+        initial = random_partition(medium_hg, k=2, seed=0)
+        with pytest.raises(PartitionError, match="k="):
+            kway_partition(medium_hg, k=4, initial=initial)
+
+    def test_rejects_bad_fixed_length(self, medium_hg):
+        with pytest.raises(PartitionError, match="fixed"):
+            kway_partition(medium_hg, k=4, fixed=[False] * 3)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("objective", ["cut", "soed"])
+    def test_reported_metrics_match_reference(self, medium_hg, objective):
+        result = kway_partition(medium_hg, k=4, objective=objective, seed=1)
+        assert result.cut == cut(medium_hg, result.partition)
+        assert result.soed == soed(medium_hg, result.partition)
+
+    def test_balance_respected(self, medium_hg):
+        constraint = BalanceConstraint.from_tolerance(medium_hg, 0.1, k=4)
+        for seed in child_seeds(0, 4):
+            result = kway_partition(medium_hg, k=4, seed=seed)
+            assert constraint.is_feasible(
+                result.partition.part_areas(medium_hg))
+
+    def test_improves_on_random_start(self, medium_hg):
+        initial = random_partition(medium_hg, k=4, seed=7)
+        before = cut(medium_hg, initial)
+        result = kway_partition(medium_hg, k=4, initial=initial,
+                                objective="cut", seed=7)
+        assert result.cut <= before
+
+    def test_deterministic(self, medium_hg):
+        a = kway_partition(medium_hg, k=4, seed=3)
+        b = kway_partition(medium_hg, k=4, seed=3)
+        assert a.partition == b.partition
+
+    def test_k2_agrees_with_cut_definition(self, medium_hg):
+        result = kway_partition(medium_hg, k=2, objective="cut", seed=2)
+        assert result.soed == 2 * result.cut
+
+    def test_clip_variant_valid(self, medium_hg):
+        result = kway_partition(medium_hg, k=4,
+                                config=FMConfig(clip=True), seed=4)
+        assert result.cut == cut(medium_hg, result.partition)
+
+    def test_separates_four_planted_clusters(self):
+        """Four dense blocks joined by a few bridges: k-way FM should
+        recover a cut near the number of bridge nets."""
+        nets = []
+        for block in range(4):
+            base = block * 8
+            nets.extend([base + i, base + (i + 1) % 8]
+                        for i in range(8))
+            nets.extend([base + i, base + (i + 2) % 8]
+                        for i in range(8))
+        bridges = [[7, 8], [15, 16], [23, 24], [31, 0]]
+        hg = Hypergraph(nets + bridges, num_modules=32)
+        best = min(kway_partition(hg, k=4, objective="cut", seed=s).cut
+                   for s in child_seeds(0, 10))
+        assert best <= 6
+
+
+class TestFixedModules:
+    def test_fixed_modules_never_move(self, medium_hg):
+        initial = random_partition(medium_hg, k=4, seed=11)
+        fixed = [v % 10 == 0 for v in range(medium_hg.num_modules)]
+        result = kway_partition(medium_hg, k=4, initial=initial,
+                                fixed=fixed, seed=11)
+        for v in range(medium_hg.num_modules):
+            if fixed[v]:
+                assert result.partition.part_of(v) == initial.part_of(v)
+
+    def test_all_fixed_returns_initial(self, medium_hg):
+        initial = random_partition(medium_hg, k=4, seed=12)
+        fixed = [True] * medium_hg.num_modules
+        result = kway_partition(medium_hg, k=4, initial=initial,
+                                fixed=fixed, seed=12)
+        assert result.partition == initial
+
+
+class TestObjectiveEffect:
+    def test_soed_objective_reduces_soed(self, medium_hg):
+        initial = random_partition(medium_hg, k=4, seed=13)
+        before = soed(medium_hg, initial)
+        result = kway_partition(medium_hg, k=4, initial=initial,
+                                objective="soed", seed=13)
+        assert result.soed <= before
+
+    def test_soed_at_most_double_cut_bound(self, medium_hg):
+        """SOED counts each cut net at least twice and at most k times."""
+        result = kway_partition(medium_hg, k=4, seed=14)
+        assert 2 * result.cut <= result.soed <= 4 * result.cut

@@ -1,0 +1,91 @@
+"""Tests for the classical partitioning metrics."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.hypergraph import Hypergraph
+from repro.partition import (Partition, absorption, cut, ratio_cut,
+                             scaled_cost, summarize)
+
+
+@pytest.fixture
+def square():
+    """4-cycle: modules 0-1-2-3-0 with 2-pin nets."""
+    return Hypergraph([[0, 1], [1, 2], [2, 3], [3, 0]], num_modules=4)
+
+
+class TestRatioCut:
+    def test_value(self, square):
+        p = Partition([0, 0, 1, 1], 2)
+        assert ratio_cut(square, p) == pytest.approx(2 / (2 * 2))
+
+    def test_prefers_balanced_cut(self, square):
+        balanced = Partition([0, 0, 1, 1], 2)   # cut 2, areas 2*2
+        skewed = Partition([0, 1, 1, 1], 2)     # cut 2, areas 1*3
+        assert ratio_cut(square, balanced) < ratio_cut(square, skewed)
+
+    def test_area_weighted(self):
+        hg = Hypergraph([[0, 1]], num_modules=2, areas=[2.0, 8.0])
+        p = Partition([0, 1], 2)
+        assert ratio_cut(hg, p) == pytest.approx(1 / 16)
+
+    def test_rejects_kway(self, square):
+        with pytest.raises(PartitionError):
+            ratio_cut(square, Partition([0, 1, 2, 3], 4))
+
+    def test_rejects_empty_side(self, square):
+        with pytest.raises(PartitionError):
+            ratio_cut(square, Partition([0, 0, 0, 0], 2))
+
+
+class TestScaledCost:
+    def test_bipartition_value(self, square):
+        p = Partition([0, 0, 1, 1], 2)
+        # both parts see the 2 cut nets: (2/2 + 2/2) / (4 * 1)
+        assert scaled_cost(square, p) == pytest.approx(0.5)
+
+    def test_kway(self, square):
+        p = Partition([0, 1, 2, 3], 4)
+        # every net cut; each part touches 2 nets of the 4
+        expected = (2 / 1 * 4) / (4 * 3)
+        assert scaled_cost(square, p) == pytest.approx(expected)
+
+    def test_zero_for_uncut(self, square):
+        hg = Hypergraph([[0, 1], [2, 3]], num_modules=4)
+        p = Partition([0, 0, 1, 1], 2)
+        assert scaled_cost(hg, p) == 0.0
+
+
+class TestAbsorption:
+    def test_uncut_nets_fully_absorbed(self, square):
+        p = Partition([0, 0, 0, 0], 2)
+        assert absorption(square, p) == pytest.approx(4.0)
+
+    def test_two_pin_cut_net_zero(self):
+        hg = Hypergraph([[0, 1]], num_modules=2)
+        assert absorption(hg, Partition([0, 1], 2)) == 0.0
+
+    def test_partial_absorption(self):
+        hg = Hypergraph([[0, 1, 2]], num_modules=3)
+        p = Partition([0, 0, 1], 2)
+        assert absorption(hg, p) == pytest.approx(0.5)
+
+    def test_monotone_in_cut(self, square):
+        good = Partition([0, 0, 1, 1], 2)  # cut 2
+        bad = Partition([0, 1, 0, 1], 2)   # cut 4
+        assert absorption(square, good) > absorption(square, bad)
+
+
+class TestSummarize:
+    def test_keys(self, square):
+        summary = summarize(square, Partition([0, 0, 1, 1], 2))
+        for key in ("k", "cut", "soed", "absorption", "part_areas",
+                    "balanced", "ratio_cut", "scaled_cost"):
+            assert key in summary
+        assert summary["cut"] == cut(square, Partition([0, 0, 1, 1], 2))
+        assert summary["balanced"]
+
+    def test_kway_has_no_ratio_cut(self, square):
+        summary = summarize(square, Partition([0, 1, 2, 3], 4))
+        assert "ratio_cut" not in summary
+        assert summary["k"] == 4

@@ -1,0 +1,178 @@
+"""Tests for the ACM/SIGDA netD / are parsers."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.hypergraph import read_are, read_netd
+
+NETD = """\
+0
+8
+3
+5
+2
+a0 s I
+a1 l O
+p1 l B
+a1 s O
+a2 l I
+a0 s I
+a2 l O
+p2 l B
+"""
+
+ARE = """\
+a0 4
+a1 2
+a2 1
+p1 1
+p2 1
+"""
+
+
+@pytest.fixture
+def netd_file(tmp_path):
+    path = tmp_path / "c.netD"
+    path.write_text(NETD)
+    return path
+
+
+@pytest.fixture
+def are_file(tmp_path):
+    path = tmp_path / "c.are"
+    path.write_text(ARE)
+    return path
+
+
+class TestReadAre:
+    def test_parse(self, are_file):
+        areas = read_are(are_file)
+        assert areas == {"a0": 4.0, "a1": 2.0, "a2": 1.0,
+                         "p1": 1.0, "p2": 1.0}
+
+    def test_bad_line(self, tmp_path):
+        path = tmp_path / "bad.are"
+        path.write_text("a0 1 2\n")
+        with pytest.raises(ParseError):
+            read_are(path)
+
+    def test_nonpositive(self, tmp_path):
+        path = tmp_path / "bad.are"
+        path.write_text("a0 0\n")
+        with pytest.raises(ParseError):
+            read_are(path)
+
+
+class TestReadNetd:
+    def test_structure(self, netd_file):
+        hg = read_netd(netd_file)
+        assert hg.num_modules == 5
+        assert hg.num_nets == 3
+        assert hg.num_pins == 8
+        assert hg.name == "c"
+        assert hg.is_unit_area()
+
+    def test_net_membership(self, netd_file):
+        hg = read_netd(netd_file)
+        sizes = sorted(hg.net_size(e) for e in hg.all_nets())
+        assert sizes == [2, 3, 3]
+
+    def test_areas_applied(self, netd_file, are_file):
+        hg = read_netd(netd_file, are_path=are_file)
+        assert hg.total_area == 9.0
+        assert hg.max_area == 4.0
+
+    def test_single_pin_nets_dropped(self, tmp_path):
+        path = tmp_path / "c.netD"
+        path.write_text("0\n3\n2\n2\n0\na0 s I\na0 s O\na1 l I\n")
+        hg = read_netd(path)
+        assert hg.num_nets == 1  # the 1-pin net is dropped
+        assert hg.num_modules == 2
+
+    def test_pin_count_mismatch(self, tmp_path):
+        path = tmp_path / "c.netD"
+        path.write_text("0\n9\n3\n5\n2\na0 s I\na1 l O\n")
+        with pytest.raises(ParseError, match="pins"):
+            read_netd(path)
+
+    def test_net_count_mismatch(self, tmp_path):
+        path = tmp_path / "c.netD"
+        path.write_text("0\n2\n5\n2\n0\na0 s I\na1 l O\n")
+        with pytest.raises(ParseError, match="nets"):
+            read_netd(path)
+
+    def test_continuation_before_start(self, tmp_path):
+        path = tmp_path / "c.netD"
+        path.write_text("0\n1\n1\n1\n0\na0 l I\n")
+        with pytest.raises(ParseError, match="continuation"):
+            read_netd(path)
+
+    def test_bad_marker(self, tmp_path):
+        path = tmp_path / "c.netD"
+        path.write_text("0\n1\n1\n1\n0\na0 x I\n")
+        with pytest.raises(ParseError, match="marker"):
+            read_netd(path)
+
+    def test_short_header(self, tmp_path):
+        path = tmp_path / "c.netD"
+        path.write_text("0\n1\n")
+        with pytest.raises(ParseError, match="header"):
+            read_netd(path)
+
+    def test_partitionable(self, netd_file):
+        from repro.fm import fm_bipartition
+        hg = read_netd(netd_file)
+        result = fm_bipartition(hg, seed=0)
+        assert 0 <= result.cut <= hg.num_nets
+
+
+class TestWriteNetd:
+    def test_roundtrip_idempotent(self, tmp_path):
+        """netD assigns indices by first appearance, so equality holds
+        after one write/read normalisation pass."""
+        from repro.hypergraph import (assert_same_structure,
+                                      hierarchical_circuit, write_netd)
+        hg = hierarchical_circuit(60, 70, seed=1)
+        first_path = tmp_path / "a.netD"
+        write_netd(hg, first_path)
+        normalised = read_netd(first_path)
+        second_path = tmp_path / "b.netD"
+        write_netd(normalised, second_path)
+        again = read_netd(second_path)
+        assert_same_structure(normalised, again)
+
+    def test_counts_preserved(self, tmp_path):
+        from repro.hypergraph import hierarchical_circuit, write_netd
+        hg = hierarchical_circuit(50, 60, seed=2)
+        path = tmp_path / "c.netD"
+        write_netd(hg, path)
+        back = read_netd(path)
+        assert back.num_modules == hg.num_modules
+        assert back.num_nets == hg.num_nets
+        assert back.num_pins == hg.num_pins
+        net_sizes = sorted(hg.net_size(e) for e in hg.all_nets())
+        assert sorted(back.net_size(e)
+                      for e in back.all_nets()) == net_sizes
+
+    def test_areas_roundtrip(self, tmp_path):
+        from repro.hypergraph import Hypergraph, write_netd
+        hg = Hypergraph([[0, 1], [1, 2]], num_modules=3,
+                        areas=[2.0, 1.0, 3.0])
+        path = tmp_path / "c.netD"
+        are = tmp_path / "c.are"
+        write_netd(hg, path, are_path=are)
+        back = read_netd(path, are_path=are)
+        assert sorted(back.areas()) == [1.0, 2.0, 3.0]
+        assert back.total_area == 6.0
+
+    def test_weighted_nets_rejected(self, tmp_path):
+        from repro.hypergraph import Hypergraph, write_netd
+        hg = Hypergraph([[0, 1]], num_modules=2, net_weights=[3])
+        with pytest.raises(ParseError, match="weights"):
+            write_netd(hg, tmp_path / "w.netD")
+
+    def test_write_are_helper(self, tmp_path):
+        from repro.hypergraph import write_are
+        path = tmp_path / "x.are"
+        write_are({"a0": 2.0, "p1": 1.5}, path)
+        assert read_are(path) == {"a0": 2.0, "p1": 1.5}

@@ -1,0 +1,192 @@
+"""Tests for Partition, balance constraints, and reference objectives."""
+
+import pytest
+
+from repro.errors import BalanceError, PartitionError
+from repro.hypergraph import Hypergraph
+from repro.partition import (BalanceConstraint, Partition, cut,
+                             random_partition, soed, spans)
+from repro.partition.rebalance import rebalance_random
+
+
+class TestPartition:
+    def test_basic(self):
+        p = Partition([0, 1, 0, 1], k=2)
+        assert p.num_modules == 4
+        assert p.part_of(1) == 1
+        assert p.part_sizes() == [2, 2]
+        assert p.parts() == [[0, 2], [1, 3]]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(PartitionError):
+            Partition([0, 2], k=2)
+
+    def test_rejects_k_below_two(self):
+        with pytest.raises(PartitionError):
+            Partition([0, 0], k=1)
+
+    def test_part_areas(self, weighted_hg):
+        p = Partition([0, 0, 1, 1], k=2)
+        assert p.part_areas(weighted_hg) == [3.0, 7.0]
+
+    def test_part_areas_size_mismatch(self, weighted_hg):
+        with pytest.raises(PartitionError):
+            Partition([0, 1], k=2).part_areas(weighted_hg)
+
+    def test_copy_independent(self):
+        p = Partition([0, 1], k=2)
+        q = p.copy()
+        q.assignment[0] = 1
+        assert p.assignment[0] == 0
+
+    def test_relabeled_canonical(self):
+        a = Partition([1, 0, 1], k=2).relabeled()
+        b = Partition([0, 1, 0], k=2).relabeled()
+        assert a == b
+
+    def test_equality_and_hash(self):
+        assert Partition([0, 1], 2) == Partition([0, 1], 2)
+        assert hash(Partition([0, 1], 2)) == hash(Partition([0, 1], 2))
+        assert Partition([0, 1], 2) != Partition([1, 0], 2)
+
+
+class TestRandomPartition:
+    def test_balanced_unit_areas(self, medium_hg):
+        p = random_partition(medium_hg, k=2, seed=0)
+        sizes = p.part_sizes()
+        assert abs(sizes[0] - sizes[1]) <= 1
+
+    def test_balanced_k4(self, medium_hg):
+        p = random_partition(medium_hg, k=4, seed=0)
+        sizes = p.part_sizes()
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_balanced_heterogeneous_areas(self):
+        areas = [1.0 + (i % 5) for i in range(100)]
+        hg = Hypergraph([[i, (i + 1) % 100] for i in range(100)],
+                        num_modules=100, areas=areas)
+        p = random_partition(hg, k=2, seed=3)
+        a = p.part_areas(hg)
+        assert abs(a[0] - a[1]) <= hg.max_area
+
+    def test_deterministic(self, medium_hg):
+        assert random_partition(medium_hg, seed=5) == \
+            random_partition(medium_hg, seed=5)
+
+
+class TestObjectives:
+    def test_cut_simple(self, tiny_hg):
+        p = Partition([0, 0, 0, 1, 1, 1], k=2)
+        assert cut(tiny_hg, p) == 1  # only the bridge net {2,3}
+
+    def test_cut_all_one_side_is_zero(self, tiny_hg):
+        assert cut(tiny_hg, Partition([0] * 6, k=2)) == 0
+
+    def test_cut_weighted(self, weighted_hg):
+        p = Partition([0, 1, 1, 0], k=2)
+        # net0 {0,1} cut (w=2); net1 {1,2,3} cut (w=1); net2 {0,3} uncut
+        assert cut(weighted_hg, p) == 3
+
+    def test_soed_is_twice_cut_for_bipartition(self, tiny_hg):
+        p = Partition([0, 1, 0, 1, 0, 1], k=2)
+        assert soed(tiny_hg, p) == 2 * cut(tiny_hg, p)
+
+    def test_soed_kway(self):
+        hg = Hypergraph([[0, 1, 2, 3]], num_modules=4)
+        assert soed(hg, Partition([0, 1, 2, 3], k=4)) == 4
+        assert soed(hg, Partition([0, 0, 1, 1], k=4)) == 2
+        assert soed(hg, Partition([0, 0, 0, 0], k=4)) == 0
+
+    def test_spans(self, tiny_hg):
+        p = Partition([0, 1, 0, 1, 0, 1], k=2)
+        assert spans(tiny_hg, p, 0) == 2
+        assert spans(tiny_hg, p, 2) == 1
+
+    def test_size_mismatch(self, tiny_hg):
+        with pytest.raises(PartitionError):
+            cut(tiny_hg, Partition([0, 1], k=2))
+
+
+class TestBalanceConstraint:
+    def test_paper_formula(self, medium_hg):
+        c = BalanceConstraint.from_tolerance(medium_hg, 0.1, k=2)
+        total = medium_hg.total_area
+        slack = max(medium_hg.max_area, 0.1 * total)
+        assert c.lower == pytest.approx(total / 2 - slack)
+        assert c.upper == pytest.approx(total / 2 + slack)
+
+    def test_max_area_dominates_for_tight_r(self):
+        hg = Hypergraph([[0, 1]], areas=[10.0, 1.0])
+        c = BalanceConstraint.from_tolerance(hg, 0.01, k=2)
+        # slack must be max(A(v*), r*A) = 10, not 0.11
+        assert c.upper - hg.total_area / 2 == pytest.approx(10.0)
+
+    def test_is_feasible(self):
+        c = BalanceConstraint(lower=4.0, upper=6.0, k=2)
+        assert c.is_feasible([5.0, 5.0])
+        assert not c.is_feasible([3.0, 7.0])
+
+    def test_violations(self):
+        c = BalanceConstraint(lower=4.0, upper=6.0, k=3)
+        assert c.violations([3.0, 5.0, 7.0]) == [0, 2]
+
+    def test_wrong_length(self):
+        c = BalanceConstraint(lower=0.0, upper=1.0, k=2)
+        with pytest.raises(BalanceError):
+            c.is_feasible([1.0])
+
+    def test_move_allowed(self):
+        c = BalanceConstraint(lower=4.0, upper=6.0, k=2)
+        assert c.move_allowed(6.0, 4.0, 1.0)
+        assert not c.move_allowed(4.0, 6.0, 1.0)  # source would break lower
+
+    def test_bad_tolerance(self, tiny_hg):
+        with pytest.raises(BalanceError):
+            BalanceConstraint.from_tolerance(tiny_hg, 1.0)
+        with pytest.raises(BalanceError):
+            BalanceConstraint.from_tolerance(tiny_hg, -0.1)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(BalanceError):
+            BalanceConstraint(lower=2.0, upper=1.0, k=2)
+
+
+class TestRebalance:
+    def test_already_feasible_untouched(self, medium_hg):
+        p = random_partition(medium_hg, seed=1)
+        c = BalanceConstraint.from_tolerance(medium_hg, 0.1)
+        q = rebalance_random(medium_hg, p, c, seed=0)
+        assert q.assignment == p.assignment
+
+    def test_fixes_gross_imbalance(self, medium_hg):
+        p = Partition([0] * medium_hg.num_modules, k=2)
+        c = BalanceConstraint.from_tolerance(medium_hg, 0.1)
+        q = rebalance_random(medium_hg, p, c, seed=0)
+        assert c.is_feasible(q.part_areas(medium_hg))
+
+    def test_input_not_modified(self, medium_hg):
+        p = Partition([0] * medium_hg.num_modules, k=2)
+        c = BalanceConstraint.from_tolerance(medium_hg, 0.1)
+        rebalance_random(medium_hg, p, c, seed=0)
+        assert all(x == 0 for x in p.assignment)
+
+    def test_kway(self, medium_hg):
+        p = Partition([0] * medium_hg.num_modules, k=4)
+        c = BalanceConstraint.from_tolerance(medium_hg, 0.1, k=4)
+        q = rebalance_random(medium_hg, p, c, seed=0)
+        assert c.is_feasible(q.part_areas(medium_hg))
+
+    def test_respects_movable_mask(self, medium_hg):
+        n = medium_hg.num_modules
+        p = Partition([0] * n, k=2)
+        c = BalanceConstraint.from_tolerance(medium_hg, 0.1)
+        movable = [v >= n // 4 for v in range(n)]
+        q = rebalance_random(medium_hg, p, c, seed=0, movable=movable)
+        assert c.is_feasible(q.part_areas(medium_hg))
+        assert all(q.assignment[v] == 0 for v in range(n // 4))
+
+    def test_infeasible_raises(self):
+        hg = Hypergraph([[0, 1]], areas=[100.0, 1.0])
+        c = BalanceConstraint(lower=45.0, upper=55.0, k=2)
+        with pytest.raises(BalanceError):
+            rebalance_random(hg, Partition([0, 0], 2), c, seed=0)

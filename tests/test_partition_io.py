@@ -1,0 +1,101 @@
+"""Tests for assignment-file I/O and the evaluate CLI flow."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ParseError
+from repro.hypergraph import load_circuit, write_hmetis
+from repro.partition import Partition, read_assignment, write_assignment
+
+
+class TestAssignmentIO:
+    def test_roundtrip(self, tmp_path):
+        p = Partition([0, 1, 1, 0, 2], k=3)
+        path = tmp_path / "parts.txt"
+        write_assignment(p, path)
+        back = read_assignment(path, k=3)
+        assert back == p
+
+    def test_k_inferred(self, tmp_path):
+        path = tmp_path / "parts.txt"
+        path.write_text("0\n2\n1\n")
+        assert read_assignment(path).k == 3
+
+    def test_k_floor_two(self, tmp_path):
+        path = tmp_path / "parts.txt"
+        path.write_text("0\n0\n")
+        assert read_assignment(path).k == 2
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "parts.txt"
+        path.write_text("0\n\n1\n\n")
+        assert read_assignment(path).num_modules == 2
+
+    def test_k_too_small(self, tmp_path):
+        path = tmp_path / "parts.txt"
+        path.write_text("0\n3\n")
+        with pytest.raises(ParseError, match="k=2"):
+            read_assignment(path, k=2)
+
+    def test_module_count_validated(self, tmp_path):
+        path = tmp_path / "parts.txt"
+        path.write_text("0\n1\n")
+        with pytest.raises(ParseError, match="covers 2"):
+            read_assignment(path, num_modules=5)
+
+    def test_non_integer(self, tmp_path):
+        path = tmp_path / "parts.txt"
+        path.write_text("0\nx\n")
+        with pytest.raises(ParseError, match="non-integer"):
+            read_assignment(path)
+
+    def test_negative(self, tmp_path):
+        path = tmp_path / "parts.txt"
+        path.write_text("-1\n0\n")
+        with pytest.raises(ParseError, match="negative"):
+            read_assignment(path)
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "parts.txt"
+        path.write_text("\n")
+        with pytest.raises(ParseError, match="empty"):
+            read_assignment(path)
+
+
+class TestEvaluateCommand:
+    @pytest.fixture
+    def setup(self, tmp_path):
+        hg = load_circuit("struct", scale=0.05, seed=0)
+        netlist = tmp_path / "c.hgr"
+        write_hmetis(hg, netlist)
+        parts = tmp_path / "parts.txt"
+        assignment = [v % 2 for v in range(hg.num_modules)]
+        parts.write_text("\n".join(map(str, assignment)) + "\n")
+        return str(netlist), str(parts)
+
+    def test_prints_metrics(self, setup, capsys):
+        netlist, parts = setup
+        assert main(["evaluate", netlist, parts]) == 0
+        out = capsys.readouterr().out
+        for field in ("cut:", "soed:", "absorption:", "ratio cut:",
+                      "balanced:"):
+            assert field in out
+
+    def test_partition_then_evaluate_consistent(self, setup, tmp_path,
+                                                capsys):
+        netlist, _ = setup
+        out_path = tmp_path / "mine.txt"
+        main(["partition", netlist, "--output", str(out_path)])
+        partition_out = capsys.readouterr().out
+        reported = int(partition_out.split("min cut:")[1].split()[0])
+        main(["evaluate", netlist, str(out_path)])
+        evaluated = int(capsys.readouterr().out
+                        .split("cut:")[1].split()[0])
+        assert evaluated == reported
+
+    def test_wrong_length_assignment(self, setup, tmp_path, capsys):
+        netlist, _ = setup
+        bad = tmp_path / "bad.txt"
+        bad.write_text("0\n1\n")
+        assert main(["evaluate", netlist, str(bad)]) == 2
+        assert "error" in capsys.readouterr().err

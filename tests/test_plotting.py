@@ -1,0 +1,59 @@
+"""Tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart([0, 1, 2], {"s": [0.0, 1.0, 2.0]},
+                            width=20, height=5)
+        lines = chart.splitlines()
+        assert any("*" in line for line in lines)
+        assert lines[-1] == "* s"
+
+    def test_title_and_labels(self):
+        chart = ascii_chart([0, 1], {"a": [1, 2]}, title="T",
+                            x_label="xs", y_label="ys")
+        assert chart.splitlines()[0] == "T"
+        assert "xs" in chart
+        assert "ys" in chart
+
+    def test_extremes_on_grid_edges(self):
+        chart = ascii_chart([0, 10], {"a": [5, 50]}, width=30, height=6)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert "*" in rows[0]       # y max on the top row
+        assert "*" in rows[-1]      # y min on the bottom row
+
+    def test_y_ticks_present(self):
+        chart = ascii_chart([0, 1], {"a": [3, 9]}, width=15, height=5)
+        assert "9" in chart
+        assert "3" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_chart([0, 1], {"a": [0, 1], "b": [1, 0]},
+                            width=15, height=5)
+        assert "* a" in chart
+        assert "o b" in chart
+
+    def test_flat_series_ok(self):
+        chart = ascii_chart([0, 1, 2], {"a": [4, 4, 4]},
+                            width=15, height=5)
+        grid = "".join(line for line in chart.splitlines() if "|" in line)
+        assert grid.count("*") == 3
+
+    def test_single_point(self):
+        chart = ascii_chart([1], {"a": [2]}, width=15, height=5)
+        assert "*" in chart
+
+    def test_errors(self):
+        with pytest.raises(ConfigError):
+            ascii_chart([], {"a": []})
+        with pytest.raises(ConfigError):
+            ascii_chart([1], {})
+        with pytest.raises(ConfigError):
+            ascii_chart([1, 2], {"a": [1]})
+        with pytest.raises(ConfigError):
+            ascii_chart([1], {"a": [1]}, width=5, height=2)

@@ -1,0 +1,280 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These cover the load-bearing correctness properties:
+
+* incremental :class:`PartitionState` bookkeeping equals recomputation
+  under arbitrary move sequences;
+* bucket structures always surface a maximum-gain item;
+* the multilevel cut invariant: Induce + Project preserve the cut;
+* Match always emits a valid <=2-module-per-cluster clustering whose
+  matched fraction respects the ratio;
+* FM/CLIP report exact cuts and respect balance on arbitrary inputs;
+* hMETIS round-trips arbitrary hypergraphs.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering import Clustering, induce, match, project
+from repro.fm import FMConfig, fm_bipartition, make_buckets
+from repro.hypergraph import (Hypergraph, assert_same_structure,
+                              check_consistency, read_hmetis, write_hmetis)
+from repro.partition import (BalanceConstraint, Partition, PartitionState,
+                             cut, random_partition, soed)
+from repro.partition.rebalance import rebalance_random
+
+
+@st.composite
+def hypergraphs(draw, max_modules=12, max_nets=14, weighted=False):
+    """Random small hypergraphs, optionally with weights and areas."""
+    n = draw(st.integers(min_value=2, max_value=max_modules))
+    num_nets = draw(st.integers(min_value=1, max_value=max_nets))
+    nets = []
+    for _ in range(num_nets):
+        size = draw(st.integers(min_value=2, max_value=min(4, n)))
+        pins = draw(st.lists(st.integers(0, n - 1), min_size=size,
+                             max_size=size, unique=True))
+        if len(pins) < 2:
+            pins = [0, 1]
+        nets.append(pins)
+    areas = None
+    net_weights = None
+    if weighted:
+        areas = draw(st.lists(st.integers(1, 5), min_size=n, max_size=n))
+        net_weights = draw(st.lists(st.integers(1, 4), min_size=num_nets,
+                                    max_size=num_nets))
+    return Hypergraph(nets, num_modules=n, areas=areas,
+                      net_weights=net_weights)
+
+
+@st.composite
+def hypergraph_with_moves(draw, k=2):
+    hg = draw(hypergraphs(weighted=True))
+    n = hg.num_modules
+    assignment = draw(st.lists(st.integers(0, k - 1), min_size=n,
+                               max_size=n))
+    moves = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, k - 1)),
+        max_size=30))
+    return hg, Partition(assignment, k), moves
+
+
+class TestStateProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(hypergraph_with_moves(k=2))
+    def test_incremental_matches_recompute_k2(self, case):
+        hg, partition, moves = case
+        state = PartitionState(hg, partition)
+        for v, dst in moves:
+            state.move(v, dst)
+        state.verify()
+        p = state.to_partition()
+        assert state.cut_weight == cut(hg, p)
+        assert state.soed_weight == soed(hg, p)
+
+    @settings(max_examples=40, deadline=None)
+    @given(hypergraph_with_moves(k=4))
+    def test_incremental_matches_recompute_k4(self, case):
+        hg, partition, moves = case
+        state = PartitionState(hg, partition)
+        for v, dst in moves:
+            state.move(v, dst)
+        state.verify()
+
+    @settings(max_examples=40, deadline=None)
+    @given(hypergraphs(weighted=True), st.integers(2, 4))
+    def test_soed_bounds(self, hg, k):
+        p = random_partition(hg, k=k, seed=0)
+        c, s = cut(hg, p), soed(hg, p)
+        assert 2 * c <= s <= k * c
+
+
+class TestBucketProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 2),
+                              st.integers(0, 19),
+                              st.integers(-6, 6)),
+                    max_size=80),
+           st.sampled_from(["lifo", "fifo", "random"]))
+    def test_max_always_correct(self, ops, policy):
+        buckets = make_buckets(20, 6, policy, rng=random.Random(0))
+        model = {}
+        for op, item, gain in ops:
+            if op == 0 and item not in model:
+                buckets.insert(item, gain)
+                model[item] = gain
+            elif op == 1 and item in model:
+                buckets.update(item, gain)
+                model[item] = gain
+            elif op == 2 and item in model:
+                buckets.remove(item)
+                del model[item]
+            assert len(buckets) == len(model)
+            if model:
+                top = next(iter(buckets.iter_desc()))
+                assert model[top] == max(model.values())
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(-5, 5), min_size=1, max_size=15,
+                    unique_by=lambda x: x))
+    def test_iter_desc_sorted(self, gains):
+        buckets = make_buckets(len(gains), 5, "lifo")
+        for item, gain in enumerate(gains):
+            buckets.insert(item, gain)
+        seen = [gains[i] for i in buckets.iter_desc()]
+        assert seen == sorted(gains, reverse=True)
+
+
+class TestClusteringProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(hypergraphs(weighted=True), st.floats(0.1, 1.0),
+           st.integers(0, 10_000))
+    def test_match_invariants(self, hg, ratio, seed):
+        clustering = match(hg, ratio=ratio, seed=seed)
+        assert clustering.num_modules == hg.num_modules
+        assert clustering.max_cluster_size() <= 2
+        # matched fraction stays within the ratio stopping rule: at most
+        # R*n + 2 modules live in pairs (the final pair may overshoot).
+        pair_modules = sum(len(g) for g in clustering.groups()
+                           if len(g) == 2)
+        assert pair_modules <= ratio * hg.num_modules + 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(hypergraphs(weighted=True), st.integers(0, 10_000))
+    def test_induce_preserves_area_and_pins_bound(self, hg, seed):
+        clustering = match(hg, ratio=1.0, seed=seed)
+        coarse = induce(hg, clustering)
+        check_consistency(coarse)
+        assert coarse.total_area == hg.total_area
+        assert coarse.total_net_weight <= hg.total_net_weight
+
+    @settings(max_examples=60, deadline=None)
+    @given(hypergraphs(weighted=True), st.integers(0, 10_000),
+           st.integers(0, 10_000))
+    def test_cut_invariant(self, hg, match_seed, part_seed):
+        clustering = match(hg, ratio=1.0, seed=match_seed)
+        coarse = induce(hg, clustering)
+        coarse_solution = random_partition(coarse, seed=part_seed)
+        fine = project(coarse_solution, clustering)
+        assert cut(coarse, coarse_solution) == cut(hg, fine)
+        assert soed(coarse, coarse_solution) == soed(hg, fine)
+
+    @settings(max_examples=40, deadline=None)
+    @given(hypergraphs(), st.integers(0, 10_000))
+    def test_project_identity_clustering(self, hg, seed):
+        identity = Clustering(list(range(hg.num_modules)))
+        p = random_partition(hg, seed=seed)
+        assert project(p, identity).assignment == p.assignment
+
+
+class TestEngineProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(hypergraphs(weighted=True), st.integers(0, 10_000),
+           st.booleans())
+    def test_fm_reports_exact_cut_and_balance(self, hg, seed, clip):
+        config = FMConfig(clip=clip)
+        result = fm_bipartition(hg, config=config, seed=seed)
+        assert result.cut == cut(hg, result.partition)
+        constraint = BalanceConstraint.from_tolerance(hg, 0.1)
+        assert constraint.is_feasible(result.partition.part_areas(hg))
+
+    @settings(max_examples=40, deadline=None)
+    @given(hypergraphs(), st.integers(0, 10_000))
+    def test_fm_never_worsens_feasible_initial(self, hg, seed):
+        initial = random_partition(hg, seed=seed)
+        constraint = BalanceConstraint.from_tolerance(hg, 0.1)
+        initial = rebalance_random(hg, initial, constraint, seed=seed)
+        before = cut(hg, initial)
+        result = fm_bipartition(hg, initial=initial, seed=seed)
+        assert result.cut <= before
+
+    @settings(max_examples=40, deadline=None)
+    @given(hypergraphs(weighted=True), st.integers(2, 4),
+           st.integers(0, 10_000))
+    def test_rebalance_reaches_feasibility(self, hg, k, seed):
+        constraint = BalanceConstraint.from_tolerance(hg, 0.1, k=k)
+        skewed = Partition([0] * hg.num_modules, k=k)
+        try:
+            result = rebalance_random(hg, skewed, constraint, seed=seed)
+        except Exception:
+            return  # genuinely unsatisfiable area profile
+        assert constraint.is_feasible(result.part_areas(hg))
+
+
+class TestKWayProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(hypergraphs(max_modules=10), st.integers(2, 4),
+           st.integers(0, 10_000))
+    def test_kway_valid_on_arbitrary_inputs(self, hg, k, seed):
+        from repro.fm import kway_partition
+        if hg.num_modules < k:
+            return
+        result = kway_partition(hg, k=k, seed=seed)
+        assert result.cut == cut(hg, result.partition)
+        assert result.soed == soed(hg, result.partition)
+        constraint = BalanceConstraint.from_tolerance(hg, 0.1, k=k)
+        assert constraint.is_feasible(result.partition.part_areas(hg))
+
+
+class TestMetricsProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(hypergraphs(weighted=True), st.integers(0, 10_000))
+    def test_absorption_bounds(self, hg, seed):
+        from repro.partition import absorption
+        p = random_partition(hg, seed=seed)
+        value = absorption(hg, p)
+        assert -1e-9 <= value <= hg.total_net_weight + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(hypergraphs(weighted=True), st.integers(0, 10_000))
+    def test_absorption_max_iff_uncut(self, hg, seed):
+        from repro.partition import absorption
+        p = random_partition(hg, seed=seed)
+        full = absorption(hg, Partition([0] * hg.num_modules, 2))
+        assert full == hg.total_net_weight
+        if cut(hg, p) == 0:
+            assert absorption(hg, p) == full
+
+    @settings(max_examples=40, deadline=None)
+    @given(hypergraphs(weighted=True), st.integers(0, 10_000))
+    def test_scaled_cost_zero_iff_uncut(self, hg, seed):
+        from repro.partition import scaled_cost
+        p = random_partition(hg, seed=seed)
+        sizes = p.part_sizes()
+        if 0 in sizes:
+            return
+        value = scaled_cost(hg, p)
+        assert value >= 0
+        assert (value == 0) == (cut(hg, p) == 0)
+
+
+class TestMultilevelProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(hypergraphs(max_modules=12, max_nets=16), st.integers(0, 10_000))
+    def test_ml_valid_on_arbitrary_inputs(self, hg, seed):
+        from repro.core import ml_bipartition
+        result = ml_bipartition(hg, seed=seed)
+        assert result.cut == cut(hg, result.partition)
+        constraint = BalanceConstraint.from_tolerance(hg, 0.1)
+        assert constraint.is_feasible(result.partition.part_areas(hg))
+
+    @settings(max_examples=15, deadline=None)
+    @given(hypergraphs(max_modules=12, max_nets=16), st.integers(0, 10_000))
+    def test_vcycle_never_worse_than_its_first_cut(self, hg, seed):
+        from repro.core import ml_vcycle
+        result = ml_vcycle(hg, cycles=1, seed=seed)
+        assert result.cut <= result.cycle_cuts[0]
+        assert result.cut == cut(hg, result.partition)
+
+
+class TestIOProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(hypergraphs(weighted=True))
+    def test_hmetis_roundtrip(self, hg):
+        import tempfile
+        from pathlib import Path
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "h.hgr"
+            write_hmetis(hg, path)
+            assert_same_structure(hg, read_hmetis(path))

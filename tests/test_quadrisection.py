@@ -1,0 +1,88 @@
+"""Tests for multilevel quadrisection."""
+
+import pytest
+
+from repro.core import (MLConfig, default_quad_config, ml_kway,
+                        ml_quadrisection)
+from repro.errors import ClusteringError, PartitionError
+from repro.hypergraph import hierarchical_circuit
+from repro.partition import BalanceConstraint, cut, soed
+from repro.rng import child_seeds
+
+
+class TestDefaults:
+    def test_table_ix_settings(self):
+        config = default_quad_config()
+        assert config.coarsening_threshold == 100
+        assert config.matching_ratio == 1.0
+        assert config.engine == "fm"
+
+
+class TestMLKWay:
+    def test_reported_metrics(self, large_hg):
+        result = ml_quadrisection(large_hg, seed=1)
+        assert result.k == 4
+        assert result.cut == cut(large_hg, result.partition)
+        assert result.soed == soed(large_hg, result.partition)
+
+    def test_balance(self, large_hg):
+        constraint = BalanceConstraint.from_tolerance(large_hg, 0.1, k=4)
+        result = ml_quadrisection(large_hg, seed=2)
+        assert constraint.is_feasible(result.partition.part_areas(large_hg))
+
+    def test_deterministic(self, medium_hg):
+        a = ml_quadrisection(medium_hg, seed=3)
+        b = ml_quadrisection(medium_hg, seed=3)
+        assert a.partition == b.partition
+
+    def test_k3(self, medium_hg):
+        result = ml_kway(medium_hg, k=3, seed=4)
+        assert result.partition.k == 3
+        assert result.cut == cut(medium_hg, result.partition)
+
+    def test_rejects_too_few_modules(self):
+        from repro.hypergraph import Hypergraph
+        hg = Hypergraph([[0, 1]], num_modules=2)
+        with pytest.raises(ClusteringError):
+            ml_kway(hg, k=4)
+
+    def test_level_metadata(self, large_hg):
+        result = ml_quadrisection(large_hg, seed=5)
+        assert result.level_sizes[0] == large_hg.num_modules
+        assert len(result.level_cuts) == result.levels + 1
+
+    def test_cut_objective_mode(self, medium_hg):
+        result = ml_quadrisection(medium_hg, objective="cut", seed=6)
+        assert result.cut == cut(medium_hg, result.partition)
+
+
+class TestFixedModules:
+    def test_preassignment_respected(self, medium_hg):
+        fixed = [-1] * medium_hg.num_modules
+        fixed[0], fixed[1], fixed[2], fixed[3] = 0, 1, 2, 3
+        result = ml_quadrisection(medium_hg, fixed=fixed, seed=7)
+        for v in range(4):
+            assert result.partition.part_of(v) == v
+
+    def test_bad_fixed_length(self, medium_hg):
+        with pytest.raises(PartitionError):
+            ml_quadrisection(medium_hg, fixed=[0, 1], seed=0)
+
+    def test_bad_fixed_part(self, medium_hg):
+        fixed = [-1] * medium_hg.num_modules
+        fixed[0] = 7
+        with pytest.raises(PartitionError):
+            ml_quadrisection(medium_hg, fixed=fixed, seed=0)
+
+
+class TestQuality:
+    def test_ml_beats_flat_kway_on_average(self):
+        """Table IX's direction: ML_F 4-way beats flat FM 4-way."""
+        from repro.fm import kway_partition
+        hg = hierarchical_circuit(900, 1100, seed=51)
+        seeds = child_seeds(3, 4)
+        flat_avg = sum(kway_partition(hg, k=4, seed=s).cut
+                       for s in seeds) / len(seeds)
+        ml_avg = sum(ml_quadrisection(hg, seed=s).cut
+                     for s in seeds) / len(seeds)
+        assert ml_avg < flat_avg

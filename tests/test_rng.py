@@ -1,0 +1,84 @@
+"""Tests for the seeded RNG helpers."""
+
+import random
+
+import pytest
+
+from repro.rng import (child_seeds, choice_weighted, make_rng,
+                       random_permutation, spawn, stable_seed)
+
+
+class TestMakeRng:
+    def test_int_seed_deterministic(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_random_passthrough(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_fresh_stream(self):
+        # Not deterministic; just check it works and differs on repeats
+        values = {make_rng(None).random() for _ in range(3)}
+        assert len(values) >= 2
+
+
+class TestChildSeeds:
+    def test_position_stable(self):
+        assert child_seeds(42, 10)[:3] == child_seeds(42, 3)
+
+    def test_distinct(self):
+        seeds = child_seeds(0, 100)
+        assert len(set(seeds)) == 100
+
+    def test_different_parents_differ(self):
+        assert child_seeds(1, 5) != child_seeds(2, 5)
+
+    def test_zero_count(self):
+        assert child_seeds(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            child_seeds(1, -1)
+
+
+class TestPermutation:
+    def test_is_permutation(self):
+        perm = random_permutation(50, make_rng(3))
+        assert sorted(perm) == list(range(50))
+
+    def test_deterministic(self):
+        assert random_permutation(20, make_rng(4)) == \
+            random_permutation(20, make_rng(4))
+
+
+class TestSpawn:
+    def test_independent_streams(self):
+        parent = make_rng(5)
+        a = spawn(parent)
+        b = spawn(parent)
+        assert a.random() != b.random()
+
+
+class TestStableSeed:
+    def test_known_value_pinned(self):
+        """Cross-process stability: this value must never change
+        (unlike built-in hash(), which is salted per process)."""
+        assert stable_seed("0", "struct", "FM") == 5932822562323333867
+
+    def test_distinct_labels_distinct_seeds(self):
+        assert stable_seed("a") != stable_seed("b")
+        assert stable_seed("a", 1) != stable_seed("a", 2)
+
+    def test_in_seed_range(self):
+        assert 0 <= stable_seed("x", 42) < 2**63 - 1
+
+
+class TestChoiceWeighted:
+    def test_empty_returns_none(self):
+        assert choice_weighted([], [], make_rng(0)) is None
+
+    def test_respects_weights(self):
+        rng = make_rng(1)
+        picks = [choice_weighted([0, 1], [0.0, 1.0], rng)
+                 for _ in range(20)]
+        assert all(p == 1 for p in picks)

@@ -1,0 +1,142 @@
+"""Tests for the incremental PartitionState bookkeeping."""
+
+import random
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.hypergraph import hierarchical_circuit
+from repro.partition import (Partition, PartitionState, cut,
+                             random_partition, soed)
+
+
+class TestInit:
+    def test_initial_cut_matches_reference(self, tiny_hg):
+        p = Partition([0, 1, 0, 1, 0, 1], k=2)
+        state = PartitionState(tiny_hg, p)
+        assert state.cut_weight == cut(tiny_hg, p)
+        assert state.soed_weight == soed(tiny_hg, p)
+
+    def test_part_areas(self, weighted_hg):
+        state = PartitionState(weighted_hg, Partition([0, 0, 1, 1], 2))
+        assert state.part_area == [3.0, 7.0]
+
+    def test_counts(self, tiny_hg):
+        p = Partition([0, 0, 0, 1, 1, 1], k=2)
+        state = PartitionState(tiny_hg, p)
+        bridge = 6  # net {2, 3}
+        assert state.pins_in(0, bridge) == 1
+        assert state.pins_in(1, bridge) == 1
+        assert state.spans[bridge] == 2
+
+    def test_size_mismatch(self, tiny_hg):
+        with pytest.raises(PartitionError):
+            PartitionState(tiny_hg, Partition([0, 1], 2))
+
+    def test_verify_fresh_state(self, medium_hg):
+        state = PartitionState(medium_hg,
+                               random_partition(medium_hg, seed=1))
+        state.verify()
+
+
+class TestMoves:
+    def test_single_move_updates_cut(self, tiny_hg):
+        p = Partition([0, 0, 0, 1, 1, 1], k=2)
+        state = PartitionState(tiny_hg, p)
+        assert state.cut_weight == 1
+        state.move(2, 1)  # bridge healed, triangle {0,1,2} now cut x2
+        assert state.cut_weight == cut(tiny_hg, state.to_partition())
+        state.verify()
+
+    def test_move_same_part_is_noop(self, tiny_hg):
+        p = Partition([0, 0, 0, 1, 1, 1], k=2)
+        state = PartitionState(tiny_hg, p)
+        before = state.cut_weight
+        state.move(2, 0)
+        assert state.cut_weight == before
+        state.verify()
+
+    def test_move_and_back_restores(self, medium_hg):
+        state = PartitionState(medium_hg,
+                               random_partition(medium_hg, seed=2))
+        before_cut = state.cut_weight
+        before_soed = state.soed_weight
+        state.move(10, 1 - state.part_of[10])
+        state.move(10, 1 - state.part_of[10])
+        assert state.cut_weight == before_cut
+        assert state.soed_weight == before_soed
+        state.verify()
+
+    def test_random_walk_consistency_k2(self, medium_hg):
+        rng = random.Random(7)
+        state = PartitionState(medium_hg,
+                               random_partition(medium_hg, seed=3))
+        for _ in range(300):
+            v = rng.randrange(medium_hg.num_modules)
+            state.move(v, 1 - state.part_of[v])
+        state.verify()
+        p = state.to_partition()
+        assert state.cut_weight == cut(medium_hg, p)
+        assert state.soed_weight == soed(medium_hg, p)
+
+    def test_random_walk_consistency_k4(self, medium_hg):
+        rng = random.Random(11)
+        state = PartitionState(medium_hg,
+                               random_partition(medium_hg, k=4, seed=3))
+        for _ in range(300):
+            v = rng.randrange(medium_hg.num_modules)
+            state.move(v, rng.randrange(4))
+        state.verify()
+        p = state.to_partition()
+        assert state.cut_weight == cut(medium_hg, p)
+        assert state.soed_weight == soed(medium_hg, p)
+
+    def test_weighted_nets(self, weighted_hg):
+        state = PartitionState(weighted_hg, Partition([0, 0, 0, 0], 2))
+        state.move(1, 1)
+        # nets 0 (w=2) and 1 (w=1) now cut
+        assert state.cut_weight == 3
+        state.verify()
+
+
+class TestActiveNets:
+    def test_restricted_tracking(self, tiny_hg):
+        p = Partition([0, 1, 0, 1, 0, 1], k=2)
+        active = [0, 1, 2]  # only the first triangle's nets
+        state = PartitionState(tiny_hg, p, active_nets=active)
+        expected = sum(1 for e in active
+                       if len({p.assignment[v]
+                               for v in tiny_hg.pins(e)}) > 1)
+        assert state.cut_weight == expected
+
+    def test_moves_ignore_inactive(self, tiny_hg):
+        p = Partition([0, 0, 0, 1, 1, 1], k=2)
+        state = PartitionState(tiny_hg, p, active_nets=[0, 1, 2])
+        state.move(3, 0)  # only touches inactive nets
+        assert state.cut_weight == 0
+        state.verify()
+
+    def test_active_nets_listing(self, tiny_hg):
+        p = Partition([0] * 6, k=2)
+        state = PartitionState(tiny_hg, p, active_nets=[4, 2, 2])
+        assert state.active_nets() == [2, 4]
+
+
+class TestVerifyDetectsCorruption:
+    def test_cut_corruption(self, tiny_hg):
+        state = PartitionState(tiny_hg, Partition([0, 0, 0, 1, 1, 1], 2))
+        state.cut_weight += 1
+        with pytest.raises(PartitionError, match="cut"):
+            state.verify()
+
+    def test_area_corruption(self, tiny_hg):
+        state = PartitionState(tiny_hg, Partition([0, 0, 0, 1, 1, 1], 2))
+        state.part_area[0] += 1.0
+        with pytest.raises(PartitionError, match="area"):
+            state.verify()
+
+    def test_count_corruption(self, tiny_hg):
+        state = PartitionState(tiny_hg, Partition([0, 0, 0, 1, 1, 1], 2))
+        state.counts[0][0] += 1
+        with pytest.raises(PartitionError, match="count"):
+            state.verify()

@@ -1,0 +1,73 @@
+"""Tests for the Table I suite registry."""
+
+import pytest
+
+from repro.errors import HypergraphError
+from repro.hypergraph import (TABLE_I, benchmark_names, benchmark_spec,
+                              load_circuit, load_suite, mini_suite_names)
+
+
+class TestRegistry:
+    def test_all_23_circuits(self):
+        assert len(TABLE_I) == 23
+        assert benchmark_names()[0] == "balu"
+        assert benchmark_names()[-1] == "golem3"
+
+    def test_table1_spot_values(self):
+        balu = benchmark_spec("balu")
+        assert (balu.modules, balu.nets, balu.pins) == (801, 735, 2697)
+        golem = benchmark_spec("golem3")
+        assert golem.modules == 103048
+        assert golem.pins == 338419
+
+    def test_mean_net_size_in_realistic_band(self):
+        for spec in TABLE_I:
+            assert 2.0 < spec.mean_net_size < 4.5
+
+    def test_unknown_name(self):
+        with pytest.raises(HypergraphError, match="unknown benchmark"):
+            benchmark_spec("nonsense")
+
+    def test_mini_suite_subset(self):
+        names = set(mini_suite_names())
+        assert names <= set(benchmark_names())
+
+
+class TestLoad:
+    def test_scaled_counts(self):
+        hg = load_circuit("struct", scale=0.1, seed=0)
+        spec = benchmark_spec("struct")
+        assert hg.num_modules == round(spec.modules * 0.1)
+        assert hg.num_nets == round(spec.nets * 0.1)
+        assert hg.name == "struct"
+
+    def test_mean_net_size_tracks_spec(self):
+        spec = benchmark_spec("biomed")
+        hg = load_circuit("biomed", scale=0.2, seed=0)
+        assert abs(hg.num_pins / hg.num_nets - spec.mean_net_size) < 0.5
+
+    def test_deterministic(self):
+        assert load_circuit("balu", scale=0.5, seed=3) == \
+            load_circuit("balu", scale=0.5, seed=3)
+
+    def test_seed_changes_instance(self):
+        assert load_circuit("balu", scale=0.5, seed=3) != \
+            load_circuit("balu", scale=0.5, seed=4)
+
+    def test_different_circuits_differ(self):
+        a = load_circuit("s9234", scale=0.05, seed=0)
+        b = load_circuit("s13207", scale=0.05, seed=0)
+        assert a.num_modules != b.num_modules
+
+    def test_minimum_size_floor(self):
+        hg = load_circuit("balu", scale=0.001, seed=0)
+        assert hg.num_modules >= 16
+        assert hg.num_nets >= 8
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(HypergraphError, match="scale"):
+            load_circuit("balu", scale=0.0)
+
+    def test_load_suite_defaults(self):
+        suite = load_suite(names=["balu", "struct"], scale=0.1)
+        assert [hg.name for hg in suite] == ["balu", "struct"]

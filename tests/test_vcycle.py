@@ -1,0 +1,87 @@
+"""Tests for restricted matching and V-cycle iteration."""
+
+import pytest
+
+from repro.clustering import match
+from repro.core import MLConfig, ml_bipartition, ml_vcycle
+from repro.errors import ClusteringError, ConfigError
+from repro.hypergraph import hierarchical_circuit
+from repro.partition import Partition, cut, random_partition
+from repro.rng import child_seeds
+
+
+class TestRestrictedMatching:
+    def test_never_merges_across_labels(self, medium_hg):
+        labels = random_partition(medium_hg, seed=1).assignment
+        clustering = match(medium_hg, ratio=1.0, seed=2, restrict=labels)
+        for group in clustering.groups():
+            assert len({labels[v] for v in group}) == 1
+
+    def test_restriction_reduces_matching(self, medium_hg):
+        labels = random_partition(medium_hg, seed=3).assignment
+        free = match(medium_hg, ratio=1.0, seed=4).num_clusters
+        restricted = match(medium_hg, ratio=1.0, seed=4,
+                           restrict=labels).num_clusters
+        assert restricted >= free
+
+    def test_bad_restrict_length(self, medium_hg):
+        with pytest.raises(ClusteringError):
+            match(medium_hg, restrict=[0, 1])
+
+    def test_uniform_labels_equal_unrestricted(self, medium_hg):
+        uniform = [0] * medium_hg.num_modules
+        a = match(medium_hg, ratio=1.0, seed=5)
+        b = match(medium_hg, ratio=1.0, seed=5, restrict=uniform)
+        assert a.cluster_of == b.cluster_of
+
+
+class TestVCycle:
+    def test_monotone_best(self, large_hg):
+        result = ml_vcycle(large_hg, cycles=3, seed=1)
+        assert result.cut == cut(large_hg, result.partition)
+        assert result.cut <= result.cycle_cuts[0]
+        assert result.cut == min(result.cycle_cuts)
+
+    def test_zero_cycles_equals_ml(self, large_hg):
+        vc = ml_vcycle(large_hg, cycles=0, seed=2)
+        ml = ml_bipartition(large_hg, seed=2)
+        assert vc.cut == ml.cut
+
+    def test_cycle_count_recorded(self, medium_hg):
+        result = ml_vcycle(medium_hg, cycles=2, seed=3)
+        assert result.cycles == 2
+        assert len(result.cycle_cuts) == 3
+
+    def test_refines_supplied_solution(self, large_hg):
+        initial = random_partition(large_hg, seed=4)
+        before = cut(large_hg, initial)
+        result = ml_vcycle(large_hg, cycles=1, initial=initial, seed=4)
+        assert result.cut <= before
+
+    def test_rejects_negative_cycles(self, medium_hg):
+        with pytest.raises(ConfigError):
+            ml_vcycle(medium_hg, cycles=-1)
+
+    def test_rejects_kway_initial(self, medium_hg):
+        with pytest.raises(ConfigError):
+            ml_vcycle(medium_hg, cycles=1,
+                      initial=random_partition(medium_hg, k=4, seed=0))
+
+    def test_never_worse_than_plain_ml(self):
+        hg = hierarchical_circuit(1200, 1440, seed=81)
+        for s in child_seeds(9, 4):
+            base = ml_bipartition(hg, seed=s).cut
+            vc = ml_vcycle(hg, cycles=2, seed=s).cut
+            assert vc <= base
+
+    def test_strict_improvement_case(self):
+        """A pinned instance where V-cycling is known to help."""
+        hg = hierarchical_circuit(1200, 1440, seed=5)
+        base = ml_bipartition(hg, seed=3).cut
+        vc = ml_vcycle(hg, cycles=3, seed=3).cut
+        assert vc < base
+
+    def test_with_clip_engine(self, large_hg):
+        result = ml_vcycle(large_hg, cycles=1,
+                           config=MLConfig(engine="clip"), seed=5)
+        assert result.cut == cut(large_hg, result.partition)
