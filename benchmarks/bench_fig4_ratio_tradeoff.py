@@ -16,7 +16,8 @@ def test_fig4_ratio_tradeoff(benchmark, bench_params, save_table):
                     scale=bench_params["scale"],
                     runs=bench_params["runs"],
                     ratios=ratios,
-                    seed=bench_params["seed"]),
+                    seed=bench_params["seed"],
+                    jobs=bench_params["jobs"]),
         rounds=1, iterations=1)
     save_table(result, "fig4.txt")
 

@@ -14,7 +14,8 @@ def test_table2_tiebreak(benchmark, bench_params, save_table):
         table2_tiebreak,
         kwargs=dict(scale=bench_params["scale"],
                     runs=bench_params["runs"],
-                    seed=bench_params["seed"]),
+                    seed=bench_params["seed"],
+                    jobs=bench_params["jobs"]),
         rounds=1, iterations=1)
     save_table(result, "table2.txt")
 

@@ -14,7 +14,8 @@ def test_table3_fm_vs_clip(benchmark, bench_params, save_table):
         table3_fm_vs_clip,
         kwargs=dict(scale=bench_params["scale"],
                     runs=bench_params["runs"],
-                    seed=bench_params["seed"]),
+                    seed=bench_params["seed"],
+                    jobs=bench_params["jobs"]),
         rounds=1, iterations=1)
     save_table(result, "table3.txt")
 

@@ -14,7 +14,8 @@ def test_table4_ml_vs_clip(benchmark, bench_params, save_table):
         table4_ml_vs_clip,
         kwargs=dict(scale=bench_params["scale"],
                     runs=bench_params["runs"],
-                    seed=bench_params["seed"]),
+                    seed=bench_params["seed"],
+                    jobs=bench_params["jobs"]),
         rounds=1, iterations=1)
     save_table(result, "table4.txt")
 

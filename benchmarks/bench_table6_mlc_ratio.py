@@ -15,7 +15,8 @@ def test_table6_mlc_ratio(benchmark, bench_params, save_table):
         table6_mlc_ratio,
         kwargs=dict(scale=bench_params["scale"],
                     runs=bench_params["runs"],
-                    seed=bench_params["seed"]),
+                    seed=bench_params["seed"],
+                    jobs=bench_params["jobs"]),
         rounds=1, iterations=1)
     save_table(result, "table6.txt")
 

@@ -17,7 +17,8 @@ def test_table7_comparison(benchmark, bench_params, save_table):
                     runs=runs,
                     runs_small=max(1, runs // 2),
                     lsmc_descents=8,
-                    seed=bench_params["seed"]),
+                    seed=bench_params["seed"],
+                    jobs=bench_params["jobs"]),
         rounds=1, iterations=1)
     save_table(result, "table7.txt")
 

@@ -15,7 +15,8 @@ def test_table8_cpu(benchmark, bench_params, save_table):
         kwargs=dict(scale=bench_params["scale"],
                     runs=bench_params["runs"],
                     lsmc_descents=8,
-                    seed=bench_params["seed"]),
+                    seed=bench_params["seed"],
+                    jobs=bench_params["jobs"]),
         rounds=1, iterations=1)
     save_table(result, "table8.txt")
 

@@ -18,7 +18,8 @@ def test_table9_quadrisection(benchmark, bench_params, save_table):
                     scale=bench_params["scale"],
                     runs=2,
                     lsmc_descents=3,
-                    seed=bench_params["seed"]),
+                    seed=bench_params["seed"],
+                    jobs=bench_params["jobs"]),
         rounds=1, iterations=1)
     save_table(result, "table9.txt")
 

@@ -8,6 +8,8 @@ scale (see DESIGN.md) and both prints it and writes it under
   (default 0.1; the paper's full scale is 1.0)
 * ``REPRO_BENCH_RUNS``   — runs per cell (default 5; the paper uses 100)
 * ``REPRO_BENCH_SEED``   — top-level seed (default 0)
+* ``REPRO_BENCH_JOBS``   — worker processes per table cell (default 1;
+  the cut columns are identical at any value, only timings change)
 
 Raising scale/runs toward paper settings is supported but slow in pure
 Python (the repro band for this paper notes exactly this).
@@ -23,11 +25,13 @@ RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
 BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "5"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 @pytest.fixture(scope="session")
 def bench_params():
-    return {"scale": BENCH_SCALE, "runs": BENCH_RUNS, "seed": BENCH_SEED}
+    return {"scale": BENCH_SCALE, "runs": BENCH_RUNS, "seed": BENCH_SEED,
+            "jobs": BENCH_JOBS}
 
 
 @pytest.fixture(scope="session")

@@ -28,8 +28,8 @@ from .core import (MLConfig, MLKWayResult, MLResult, MultistartResult,
                    recursive_bisection, ml_vcycle)
 from .clustering import Clustering, connectivity, induce, match, project
 from .errors import (BalanceError, ClusteringError, ConfigError,
-                     HypergraphError, ParseError, PartitionError,
-                     ReproError)
+                     HarnessError, HypergraphError, ParseError,
+                     PartitionError, ReproError)
 from .hypergraph import (Hypergraph, HypergraphBuilder, benchmark_names,
                          benchmark_spec, grid_circuit,
                          hierarchical_circuit, load_circuit, load_suite,
@@ -40,6 +40,8 @@ from .partition import (BalanceConstraint, Partition, PartitionState,
                         scaled_cost, soed, summarize)
 from .fm import (FMConfig, FMResult, KWayResult, clip_bipartition,
                  fm_bipartition, kway_partition)
+from .runtime import (HierarchyCache, Portfolio, PortfolioResult,
+                      RunRecord, execute, ml_portfolio)
 
 __version__ = "1.0.0"
 
@@ -98,6 +100,13 @@ __all__ = [
     "connectivity",
     "induce",
     "project",
+    # runtime
+    "Portfolio",
+    "PortfolioResult",
+    "RunRecord",
+    "execute",
+    "HierarchyCache",
+    "ml_portfolio",
     # errors
     "ReproError",
     "HypergraphError",
@@ -106,4 +115,5 @@ __all__ = [
     "BalanceError",
     "ClusteringError",
     "ConfigError",
+    "HarnessError",
 ]

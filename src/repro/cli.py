@@ -14,6 +14,7 @@ Examples::
     repro generate s9234 --scale 0.1 -o s9234.hgr
     repro info s9234.hgr
     repro partition s9234.hgr --algorithm mlc -R 0.5 --runs 10
+    repro partition s9234.hgr --runs 20 --jobs 4 --budget 30
     repro partition s9234.hgr -k 4 --algorithm mlf --output parts.txt
 """
 
@@ -21,7 +22,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -35,9 +35,10 @@ from .errors import ReproError
 from .hypergraph import (Hypergraph, benchmark_names, compute_stats,
                          load_circuit, read_hmetis, read_json,
                          write_hmetis, write_json)
+from .harness.runner import Algorithm
 from .partition import (BalanceConstraint, cut, read_assignment,
                         summarize, write_assignment)
-from .rng import child_seeds
+from .runtime import Portfolio, execute
 from .fm.config import FMConfig
 from .fm.engine import fm_bipartition
 
@@ -117,33 +118,43 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_partition(args: argparse.Namespace) -> int:
     hg = _read_netlist(args.file)
-    seeds = child_seeds(args.seed, args.runs)
-    best = None
-    cuts: List[int] = []
-    start = time.perf_counter()
-    for s in seeds:
-        result = _single_run(args.algorithm, hg, args.k, args.ratio,
-                             args.threshold, args.tolerance,
-                             args.descents, s, vcycles=args.vcycles)
-        cuts.append(result.cut)
-        if best is None or result.cut < best.cut:
-            best = result
-    elapsed = time.perf_counter() - start
+    algorithm = Algorithm(
+        args.algorithm,
+        lambda h, s: _single_run(args.algorithm, h, args.k, args.ratio,
+                                 args.threshold, args.tolerance,
+                                 args.descents, s, vcycles=args.vcycles))
+    portfolio = Portfolio(algorithm=algorithm, hg=hg, runs=args.runs,
+                          seed=args.seed, budget_seconds=args.budget,
+                          retries=args.retries, keep_results=True)
+    outcome = execute(portfolio, jobs=args.jobs)
+    if not outcome.ok_records:
+        raise ReproError(
+            f"all {outcome.runs} runs failed; first error: "
+            f"{outcome.records[0].error}")
+    best = outcome.best.result
+    cuts = outcome.cuts
 
     assert best is not None
     partition = best.partition
     constraint = BalanceConstraint.from_tolerance(hg, args.tolerance,
                                                   k=args.k)
     areas = partition.part_areas(hg)
-    print(f"algorithm:  {args.algorithm} (k={args.k}, runs={args.runs})")
+    print(f"algorithm:  {args.algorithm} (k={args.k}, runs={args.runs}, "
+          f"jobs={args.jobs})")
     print(f"min cut:    {min(cuts)}")
     if args.runs > 1:
         print(f"avg cut:    {sum(cuts) / len(cuts):.1f}")
         print(f"all cuts:   {cuts}")
+    if outcome.failures:
+        for record in outcome.failures:
+            print(f"run {record.index} {record.status} "
+                  f"(seed {record.seed}): {record.error}", file=sys.stderr)
+        print(f"failed:     {len(outcome.failures)}/{outcome.runs} runs")
     print(f"part areas: {[round(a, 2) for a in areas]} "
           f"(bounds [{constraint.lower:.1f}, {constraint.upper:.1f}], "
           f"feasible: {constraint.is_feasible(areas)})")
-    print(f"cpu:        {elapsed:.2f}s")
+    print(f"wall:       {outcome.wall_seconds:.2f}s")
+    print(f"cpu:        {outcome.cpu_seconds:.2f}s")
     assert cut(hg, partition) == best.cut
 
     if args.output:
@@ -183,25 +194,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "1": lambda: table1_characteristics(scale=args.scale,
                                             seed=args.seed),
         "2": lambda: table2_tiebreak(scale=args.scale, runs=args.runs,
-                                     seed=args.seed),
+                                     seed=args.seed, jobs=args.jobs),
         "3": lambda: table3_fm_vs_clip(scale=args.scale, runs=args.runs,
-                                       seed=args.seed),
+                                       seed=args.seed, jobs=args.jobs),
         "4": lambda: table4_ml_vs_clip(scale=args.scale, runs=args.runs,
-                                       seed=args.seed),
+                                       seed=args.seed, jobs=args.jobs),
         "5": lambda: table5_mlf_ratio(scale=args.scale, runs=args.runs,
-                                      seed=args.seed),
+                                      seed=args.seed, jobs=args.jobs),
         "6": lambda: table6_mlc_ratio(scale=args.scale, runs=args.runs,
-                                      seed=args.seed),
+                                      seed=args.seed, jobs=args.jobs),
         "7": lambda: table7_comparison(scale=args.scale, runs=args.runs,
-                                       seed=args.seed),
+                                       seed=args.seed, jobs=args.jobs),
         "8": lambda: table8_cpu(scale=args.scale, runs=args.runs,
-                                seed=args.seed),
+                                seed=args.seed, jobs=args.jobs),
         "9": lambda: table9_quadrisection(scale=args.scale,
                                           runs=max(1, args.runs // 2),
-                                          seed=args.seed),
+                                          seed=args.seed, jobs=args.jobs),
         "fig4": lambda: figure4_ratio_tradeoff(scale=args.scale,
                                                runs=args.runs,
-                                               seed=args.seed),
+                                               seed=args.seed,
+                                               jobs=args.jobs),
     }
     print(generators[args.table]().render())
     return 0
@@ -245,6 +257,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="extra restricted V-cycles after ML (k=2, "
                              "mlc/mlf only)")
     p_part.add_argument("--seed", type=int, default=0)
+    p_part.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes for the runs (same cuts "
+                             "at any worker count)")
+    p_part.add_argument("--budget", type=float, default=None,
+                        help="per-run wall-clock budget in seconds")
+    p_part.add_argument("--retries", type=int, default=0,
+                        help="re-execute a crashed run this many times")
     p_part.add_argument("--output", default=None,
                         help="write the per-module part assignment here")
     p_part.set_defaults(fn=_cmd_partition)
@@ -265,6 +284,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--scale", type=float, default=0.1)
     p_bench.add_argument("--runs", type=int, default=5)
     p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("-j", "--jobs", type=int, default=1,
+                         help="worker processes per table cell")
     p_bench.set_defaults(fn=_cmd_bench)
     return parser
 

@@ -19,7 +19,7 @@ from ..clustering import Clustering, induce, match
 from ..errors import ClusteringError
 from ..hypergraph import Hypergraph
 from ..partition import Partition, cut
-from ..rng import SeedLike, make_rng
+from ..rng import SeedLike, make_rng, spawn
 from ..fm.clip import clip_bipartition  # noqa: F401  (re-export convenience)
 from ..fm.engine import fm_bipartition
 from ..clustering.project import project
@@ -74,9 +74,18 @@ def build_hierarchy(hg: Hypergraph, config: Optional[MLConfig] = None,
     matching step fails to shrink the netlist (which can happen when
     every remaining module is isolated from the others — continuing
     would loop forever).
+
+    Exactly one value is drawn from the caller's ``rng``/``seed`` stream
+    to seed a private coarsening stream.  This makes the hierarchy a
+    substitutable artifact: ``ml_bipartition(hg, seed=s)`` and
+    ``ml_bipartition(hg, hierarchy=build_hierarchy(hg, config, seed=s),
+    seed=s)`` consume identical refinement streams and therefore return
+    identical results (the contract the parallel runtime's hierarchy
+    cache relies on).
     """
     config = config or MLConfig()
-    rng = rng if rng is not None else make_rng(seed)
+    base = rng if rng is not None else make_rng(seed)
+    rng = spawn(base)
     netlists = [hg]
     clusterings: List[Clustering] = []
     while (netlists[-1].num_modules > config.coarsening_threshold
@@ -94,12 +103,21 @@ def build_hierarchy(hg: Hypergraph, config: Optional[MLConfig] = None,
 def ml_bipartition(hg: Hypergraph,
                    config: Optional[MLConfig] = None,
                    seed: SeedLike = None,
-                   rng: Optional[random.Random] = None) -> MLResult:
+                   rng: Optional[random.Random] = None,
+                   hierarchy: Optional[Hierarchy] = None) -> MLResult:
     """Run the ML multilevel bipartitioning algorithm of Figure 2.
 
     Returns the refined bipartitioning ``P_0`` of the input netlist; its
     ``cut`` is measured over all nets of ``hg`` (including any the
     refinement engine ignored for size).
+
+    ``hierarchy`` substitutes a prebuilt coarsening hierarchy for the
+    coarsening phase (Steps 1-5), so a multi-start portfolio can coarsen
+    once and refine many times.  The hierarchy is treated as read-only
+    and must have been built over ``hg`` (same finest netlist).  Because
+    :func:`build_hierarchy` draws exactly one value from the run's seed
+    stream, passing ``hierarchy=build_hierarchy(hg, config, seed=s)``
+    together with ``seed=s`` reproduces the fresh-run result exactly.
     """
     config = config or MLConfig()
     rng = rng if rng is not None else make_rng(seed)
@@ -107,7 +125,15 @@ def ml_bipartition(hg: Hypergraph,
         raise ClusteringError("cannot bipartition fewer than two modules")
     fm_config = config.engine_config()
 
-    hierarchy = build_hierarchy(hg, config, rng=rng)
+    if hierarchy is None:
+        hierarchy = build_hierarchy(hg, config, rng=rng)
+    else:
+        if not hierarchy.netlists or hierarchy.netlists[0] is not hg and (
+                hierarchy.netlists[0].num_modules != hg.num_modules
+                or hierarchy.netlists[0].num_nets != hg.num_nets):
+            raise ClusteringError(
+                "prebuilt hierarchy was not built over this netlist")
+        spawn(rng)  # discard the coarsening draw to keep streams aligned
 
     # Step 6: initial partitioning of the coarsest netlist — optionally
     # several independent starts, keeping the best (Section V).

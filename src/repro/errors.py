@@ -40,3 +40,8 @@ class ClusteringError(ReproError):
 
 class ConfigError(ReproError):
     """Raised for invalid algorithm configuration values."""
+
+
+class HarnessError(ReproError):
+    """Raised for invalid experiment-harness states (e.g. statistics
+    requested over a portfolio whose runs all failed)."""

@@ -122,14 +122,15 @@ def _cell_seed(seed: SeedLike, circuit: str, algorithm: str) -> int:
 
 
 def _sweep(algorithms: Sequence[Algorithm], circuits: Sequence[Hypergraph],
-           runs: int, seed: SeedLike) -> Dict[str, Dict[str, CellStats]]:
+           runs: int, seed: SeedLike,
+           jobs: int = 1) -> Dict[str, Dict[str, CellStats]]:
     cells: Dict[str, Dict[str, CellStats]] = {}
     for hg in circuits:
         cells[hg.name] = {}
         for algorithm in algorithms:
             cells[hg.name][algorithm.name] = run_cell(
                 algorithm, hg, runs,
-                _cell_seed(seed, hg.name, algorithm.name))
+                _cell_seed(seed, hg.name, algorithm.name), jobs=jobs)
     return cells
 
 
@@ -162,12 +163,14 @@ def table1_characteristics(circuits: Sequence[str] = BENCH_CIRCUITS,
 def table2_tiebreak(circuits: Sequence[str] = BENCH_CIRCUITS,
                     scale: float = BENCH_SCALE,
                     runs: int = BENCH_RUNS,
-                    seed: SeedLike = 0) -> TableResult:
+                    seed: SeedLike = 0,
+                    jobs: int = 1) -> TableResult:
     """FM under the three bucket disciplines (min/avg/std per circuit)."""
     algorithms = [fm_algorithm("lifo", name="LIFO"),
                   fm_algorithm("fifo", name="FIFO"),
                   fm_algorithm("random", name="RND")]
-    cells = _sweep(algorithms, _load(circuits, scale, seed), runs, seed)
+    cells = _sweep(algorithms, _load(circuits, scale, seed), runs, seed,
+                   jobs=jobs)
     headers = ["Test Case",
                "MIN LIFO", "MIN FIFO", "MIN RND",
                "AVG LIFO", "AVG FIFO", "AVG RND",
@@ -193,10 +196,12 @@ def table2_tiebreak(circuits: Sequence[str] = BENCH_CIRCUITS,
 def table3_fm_vs_clip(circuits: Sequence[str] = BENCH_CIRCUITS,
                       scale: float = BENCH_SCALE,
                       runs: int = BENCH_RUNS,
-                      seed: SeedLike = 0) -> TableResult:
+                      seed: SeedLike = 0,
+                      jobs: int = 1) -> TableResult:
     """FM vs CLIP: min/avg/std cut and total CPU time."""
     algorithms = [fm_algorithm("lifo", name="FM"), clip_algorithm("CLIP")]
-    cells = _sweep(algorithms, _load(circuits, scale, seed), runs, seed)
+    cells = _sweep(algorithms, _load(circuits, scale, seed), runs, seed,
+                   jobs=jobs)
     headers = ["Test Case", "MIN FM", "MIN CLIP", "AVG FM", "AVG CLIP",
                "STD FM", "STD CLIP", "CPU FM", "CPU CLIP"]
     rows = []
@@ -219,12 +224,14 @@ def table4_ml_vs_clip(circuits: Sequence[str] = BENCH_CIRCUITS,
                       scale: float = BENCH_SCALE,
                       runs: int = BENCH_RUNS,
                       seed: SeedLike = 0,
-                      threshold: int = 35) -> TableResult:
+                      threshold: int = 35,
+                      jobs: int = 1) -> TableResult:
     """CLIP vs the two ML variants with complete matching (R = 1)."""
     algorithms = [clip_algorithm("CLIP"),
                   ml_algorithm("fm", 1.0, threshold, name="MLF"),
                   ml_algorithm("clip", 1.0, threshold, name="MLC")]
-    cells = _sweep(algorithms, _load(circuits, scale, seed), runs, seed)
+    cells = _sweep(algorithms, _load(circuits, scale, seed), runs, seed,
+                   jobs=jobs)
     names = ("CLIP", "MLF", "MLC")
     headers = (["Test Case"]
                + [f"MIN {n}" for n in names]
@@ -250,10 +257,11 @@ def table4_ml_vs_clip(circuits: Sequence[str] = BENCH_CIRCUITS,
 def _ratio_sweep(engine: str, title: str,
                  circuits: Sequence[str], scale: float, runs: int,
                  seed: SeedLike, ratios: Sequence[float],
-                 threshold: int) -> TableResult:
+                 threshold: int, jobs: int = 1) -> TableResult:
     algorithms = [ml_algorithm(engine, r, threshold, name=f"R={r:g}")
                   for r in ratios]
-    cells = _sweep(algorithms, _load(circuits, scale, seed), runs, seed)
+    cells = _sweep(algorithms, _load(circuits, scale, seed), runs, seed,
+                   jobs=jobs)
     names = [a.name for a in algorithms]
     headers = (["Test Case"]
                + [f"MIN {n}" for n in names]
@@ -274,11 +282,12 @@ def table5_mlf_ratio(circuits: Sequence[str] = BENCH_CIRCUITS,
                      runs: int = BENCH_RUNS,
                      seed: SeedLike = 0,
                      ratios: Sequence[float] = (1.0, 0.5, 0.33),
-                     threshold: int = 35) -> TableResult:
+                     threshold: int = 35,
+                     jobs: int = 1) -> TableResult:
     """ML_F for R in {1.0, 0.5, 0.33} (Table V)."""
     return _ratio_sweep(
         "fm", f"Table V: ML_F matching-ratio sweep ({runs} runs)",
-        circuits, scale, runs, seed, ratios, threshold)
+        circuits, scale, runs, seed, ratios, threshold, jobs=jobs)
 
 
 def table6_mlc_ratio(circuits: Sequence[str] = BENCH_CIRCUITS,
@@ -286,11 +295,12 @@ def table6_mlc_ratio(circuits: Sequence[str] = BENCH_CIRCUITS,
                      runs: int = BENCH_RUNS,
                      seed: SeedLike = 0,
                      ratios: Sequence[float] = (1.0, 0.5, 0.33),
-                     threshold: int = 35) -> TableResult:
+                     threshold: int = 35,
+                     jobs: int = 1) -> TableResult:
     """ML_C for R in {1.0, 0.5, 0.33} (Table VI)."""
     return _ratio_sweep(
         "clip", f"Table VI: ML_C matching-ratio sweep ({runs} runs)",
-        circuits, scale, runs, seed, ratios, threshold)
+        circuits, scale, runs, seed, ratios, threshold, jobs=jobs)
 
 
 # ----------------------------------------------------------------------
@@ -302,7 +312,8 @@ def table7_comparison(circuits: Sequence[str] = BENCH_CIRCUITS,
                       runs: int = BENCH_RUNS,
                       runs_small: Optional[int] = None,
                       lsmc_descents: int = 10,
-                      seed: SeedLike = 0) -> TableResult:
+                      seed: SeedLike = 0,
+                      jobs: int = 1) -> TableResult:
     """ML_C (R=0.5) vs reimplemented + literature comparators.
 
     Columns: ML_C min cut over ``runs`` and over the ``runs_small``
@@ -325,7 +336,7 @@ def table7_comparison(circuits: Sequence[str] = BENCH_CIRCUITS,
             hg, config=cl_la3, seed=s)),
     ]
     loaded = _load(circuits, scale, seed)
-    cells = _sweep([mlc] + reimplemented, loaded, runs, seed)
+    cells = _sweep([mlc] + reimplemented, loaded, runs, seed, jobs=jobs)
 
     headers = (["Test Case", f"MLC({runs})", f"MLC({runs_small})"]
                + [a.name for a in reimplemented]
@@ -380,7 +391,8 @@ def table8_cpu(circuits: Sequence[str] = BENCH_CIRCUITS,
                scale: float = BENCH_SCALE,
                runs: int = BENCH_RUNS,
                lsmc_descents: int = 10,
-               seed: SeedLike = 0) -> TableResult:
+               seed: SeedLike = 0,
+               jobs: int = 1) -> TableResult:
     """CPU seconds for ``runs`` runs of each reimplemented algorithm,
     next to the paper's published Table VIII columns."""
     algorithms = [ml_algorithm("clip", 0.5, name="MLC"),
@@ -390,7 +402,8 @@ def table8_cpu(circuits: Sequence[str] = BENCH_CIRCUITS,
                       hg, descents=lsmc_descents, seed=s)),
                   Algorithm("PROP",
                             lambda hg, s: prop_bipartition(hg, seed=s))]
-    cells = _sweep(algorithms, _load(circuits, scale, seed), runs, seed)
+    cells = _sweep(algorithms, _load(circuits, scale, seed), runs, seed,
+                   jobs=jobs)
     lit_columns = ("MLc10", "GMet", "PB", "GFM", "CL-LA3f", "LSMC")
     headers = (["Test Case"]
                + [f"{a.name} (s)" for a in algorithms]
@@ -417,7 +430,8 @@ def table9_quadrisection(circuits: Sequence[str] = ("primary2", "biomed",
                          scale: float = BENCH_SCALE,
                          runs: int = 3,
                          lsmc_descents: int = 3,
-                         seed: SeedLike = 0) -> TableResult:
+                         seed: SeedLike = 0,
+                         jobs: int = 1) -> TableResult:
     """4-way cuts: ML_F vs GORDIAN-sim vs FM4 vs CLIP4 vs LSMC_F/LSMC_C.
 
     ML uses the paper's Table IX settings (R=1.0, T=100, FM engine,
@@ -441,7 +455,8 @@ def table9_quadrisection(circuits: Sequence[str] = ("primary2", "biomed",
         Algorithm("LSMCC", lambda hg, s: lsmc_kway(
             hg, k=4, descents=lsmc_descents, config=clip4, seed=s)),
     ]
-    cells = _sweep(algorithms, _load(circuits, scale, seed), runs, seed)
+    cells = _sweep(algorithms, _load(circuits, scale, seed), runs, seed,
+                   jobs=jobs)
     names = [a.name for a in algorithms]
     headers = ["Test Case"] + [f"{n} min" for n in names] + ["MLF4 avg"]
     rows = []
@@ -464,7 +479,8 @@ def figure4_ratio_tradeoff(circuits: Sequence[str] = ("avqsmall",),
                            runs: int = BENCH_RUNS,
                            ratios: Sequence[float] = (1.0, 0.8, 0.6, 0.4,
                                                       0.2),
-                           seed: SeedLike = 0) -> TableResult:
+                           seed: SeedLike = 0,
+                           jobs: int = 1) -> TableResult:
     """Average ML_C cut as a function of the matching ratio R."""
     loaded = _load(circuits, scale, seed)
     headers = ["R"] + [f"{hg.name} avg cut" for hg in loaded] \
@@ -477,7 +493,8 @@ def figure4_ratio_tradeoff(circuits: Sequence[str] = ("avqsmall",),
         cpu: List[object] = []
         for hg in loaded:
             cell = run_cell(algorithm, hg, runs,
-                            _cell_seed(seed, hg.name, algorithm.name))
+                            _cell_seed(seed, hg.name, algorithm.name),
+                            jobs=jobs)
             cells[hg.name][algorithm.name] = cell
             row.append(round(cell.avg_cut, 1))
             cpu.append(round(cell.cpu_seconds, 2))

@@ -5,18 +5,23 @@ minimum cut, average cut, standard deviation, and total CPU time.  An
 :class:`Algorithm` is a named, seeded partitioner; :func:`run_cell`
 produces one table cell's statistics and :func:`run_matrix` sweeps
 algorithms x circuits.
+
+Execution is delegated to :mod:`repro.runtime`: ``jobs=1`` runs the
+starts serially in-process (the historical behaviour), ``jobs=N`` fans
+them out to a worker pool.  Either way the per-start seeds come from
+the same :func:`repro.rng.child_seeds` stream, so the cut statistics
+are identical at any worker count; only the timing columns change.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from statistics import mean, pstdev
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from ..errors import ConfigError
+from ..errors import ConfigError, HarnessError
 from ..hypergraph import Hypergraph
-from ..rng import SeedLike, child_seeds, stable_seed
+from ..rng import SeedLike, stable_seed
 
 __all__ = ["Algorithm", "CellStats", "run_cell", "run_matrix"]
 
@@ -31,61 +36,106 @@ class Algorithm:
 
 @dataclass
 class CellStats:
-    """min/avg/std/CPU over N runs of one algorithm on one circuit."""
+    """min/avg/std cut and wall/CPU time over N runs of one algorithm
+    on one circuit.
+
+    ``cpu_seconds`` is genuine CPU time (``time.process_time``, summed
+    across workers when the cell ran in parallel) — what the paper's
+    Table VIII reports.  ``wall_seconds`` is elapsed wall clock for the
+    whole cell.  Historically ``cpu_seconds`` held wall time; passing
+    only ``cpu_seconds`` keeps old call sites constructible (wall
+    defaults to the same value) but new code should set both.
+    ``failures`` counts runs that crashed or timed out; their cuts are
+    absent from ``cuts``.
+    """
 
     algorithm: str
     circuit: str
     cuts: List[int]
     cpu_seconds: float
+    wall_seconds: Optional[float] = None
+    failures: int = 0
+
+    def __post_init__(self):
+        if self.wall_seconds is None:
+            self.wall_seconds = self.cpu_seconds
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Deprecated alias for :attr:`wall_seconds` (the quantity the
+        pre-runtime ``cpu_seconds`` actually measured)."""
+        return self.wall_seconds
 
     @property
     def runs(self) -> int:
         return len(self.cuts)
 
+    def _require_cuts(self) -> List[int]:
+        if not self.cuts:
+            raise HarnessError(
+                f"no successful runs of {self.algorithm!r} on "
+                f"{self.circuit!r} ({self.failures} failed); "
+                "cut statistics are undefined")
+        return self.cuts
+
     @property
     def min_cut(self) -> int:
-        return min(self.cuts)
+        return min(self._require_cuts())
 
     @property
     def avg_cut(self) -> float:
-        return mean(self.cuts)
+        return mean(self._require_cuts())
 
     @property
     def std_cut(self) -> float:
-        return pstdev(self.cuts)
+        return pstdev(self._require_cuts())
 
 
 def run_cell(algorithm: Algorithm, hg: Hypergraph, runs: int,
-             seed: SeedLike = 0) -> CellStats:
-    """Run one algorithm ``runs`` times on one circuit."""
+             seed: SeedLike = 0,
+             jobs: int = 1,
+             executor=None,
+             budget_seconds: Optional[float] = None,
+             retries: int = 0) -> CellStats:
+    """Run one algorithm ``runs`` times on one circuit.
+
+    ``jobs``/``executor`` select the runtime executor (see
+    :mod:`repro.runtime`); ``budget_seconds`` and ``retries`` are the
+    per-start fault-tolerance knobs.  Defaults reproduce the original
+    serial semantics, except that a raising run is now recorded as a
+    failure instead of aborting the sweep.
+    """
     if runs < 1:
         raise ConfigError(f"runs must be >= 1, got {runs}")
-    cuts: List[int] = []
-    start = time.perf_counter()
-    for s in child_seeds(seed, runs):
-        result = algorithm.fn(hg, s)
-        cuts.append(result.cut)
-    elapsed = time.perf_counter() - start
-    return CellStats(algorithm=algorithm.name, circuit=hg.name,
-                     cuts=cuts, cpu_seconds=elapsed)
+    from ..runtime import Portfolio, execute
+    portfolio = Portfolio(algorithm=algorithm, hg=hg, runs=runs, seed=seed,
+                          budget_seconds=budget_seconds, retries=retries)
+    return execute(portfolio, jobs=jobs, executor=executor).to_cell_stats()
 
 
 def run_matrix(algorithms: Sequence[Algorithm],
                circuits: Sequence[Hypergraph],
                runs: int,
-               seed: SeedLike = 0
+               seed: SeedLike = 0,
+               jobs: int = 1,
+               budget_seconds: Optional[float] = None,
+               retries: int = 0
                ) -> Dict[str, Dict[str, CellStats]]:
     """Sweep ``algorithms x circuits``; result[circuit][algorithm].
 
     Each (circuit, algorithm) cell derives its seed from the top-level
     seed, the circuit name, and the algorithm name, so adding a row or
-    column never changes existing cells.
+    column never changes existing cells.  ``jobs`` parallelises the
+    starts within each cell, which keeps the per-cell seed derivation
+    (and therefore every cut) byte-identical to a serial sweep.
     """
     table: Dict[str, Dict[str, CellStats]] = {}
     for hg in circuits:
         row: Dict[str, CellStats] = {}
         for algorithm in algorithms:
             cell_seed = stable_seed(str(seed), hg.name, algorithm.name)
-            row[algorithm.name] = run_cell(algorithm, hg, runs, cell_seed)
+            row[algorithm.name] = run_cell(
+                algorithm, hg, runs, cell_seed, jobs=jobs,
+                budget_seconds=budget_seconds, retries=retries)
         table[hg.name] = row
     return table

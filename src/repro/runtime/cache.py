@@ -1,0 +1,78 @@
+"""Keyed cache of coarsening hierarchies.
+
+Coarsening is the per-start fixed cost of multilevel partitioning: a
+multi-start portfolio on one (circuit, config) pair rebuilds the same
+kind of hierarchy N times.  The cache builds it once per key and hands
+the same (read-only) :class:`Hierarchy` to every start — refinement
+only projects and refines, it never mutates the coarse netlists, which
+the test suite pins with a deep-equality check.
+
+Keys combine the netlist's identity with the ML configuration and the
+hierarchy seed.  ``id(hg)`` keeps two live netlists distinct even when
+a generator reuses a name; the structural fields guard against id reuse
+after garbage collection.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from ..core.config import MLConfig
+from ..core.ml import Hierarchy, build_hierarchy
+from ..errors import ConfigError
+from ..hypergraph import Hypergraph
+from ..rng import SeedLike
+
+__all__ = ["HierarchyCache", "default_hierarchy_cache"]
+
+
+class HierarchyCache:
+    """A small LRU mapping (netlist, config, seed) -> built hierarchy."""
+
+    def __init__(self, max_entries: int = 8):
+        if max_entries < 1:
+            raise ConfigError(
+                f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Tuple, Hierarchy]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, hg: Hypergraph, config: Optional[MLConfig] = None,
+            seed: SeedLike = 0) -> Hierarchy:
+        """The hierarchy for ``(hg, config, seed)``, building on miss."""
+        config = config or MLConfig()
+        if isinstance(seed, random.Random):
+            # A live stream is stateful; caching it would alias state.
+            return build_hierarchy(hg, config, rng=seed)
+        key = (id(hg), hg.name, hg.num_modules, hg.num_nets, config, seed)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+        built = build_hierarchy(hg, config, seed=seed)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = built
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return built
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-wide cache used by :func:`repro.runtime.ml_portfolio` when
+#: the caller does not supply one.
+default_hierarchy_cache = HierarchyCache()

@@ -1,0 +1,208 @@
+"""Portfolio executors: serial and multiprocess.
+
+Both executors run the identical start list (:meth:`Portfolio.jobs`)
+and produce records in start-index order, so the cut set of a portfolio
+is a pure function of its seed — the determinism contract the tests
+pin down as ``run_cell(jobs=1) == run_cell(jobs=4)``.
+
+The process executor uses the ``fork`` start method and ships only
+``(index, seed, attempt)`` tuples to workers; the portfolio itself
+(netlist, algorithm closures, any prebuilt hierarchy) is inherited
+through the fork, so nothing in it needs to pickle.  Where ``fork`` is
+unavailable (e.g. Windows), :func:`get_executor` degrades to the serial
+executor with a warning rather than failing the sweep.
+
+Fault model: a start that raises is caught (in the worker, or in the
+parent for serial runs) and recorded as a failed run; a start that
+exceeds the portfolio's wall-clock budget is recorded as a timeout and
+its worker is killed at pool shutdown.  The sweep always completes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+import warnings
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigError
+from .job import Job, Portfolio
+from .records import (PortfolioResult, RunRecord,
+                      STATUS_FAILED, STATUS_OK, STATUS_TIMEOUT)
+
+__all__ = ["SerialExecutor", "ProcessExecutor", "get_executor", "execute"]
+
+
+def _execute_start(portfolio: Portfolio, index: int, seed: int,
+                   attempt: int, worker: str) -> RunRecord:
+    """Run one start, converting any exception into a failed record."""
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    try:
+        result = portfolio.fn(portfolio.hg, seed)
+        record = RunRecord(
+            index=index, seed=seed, status=STATUS_OK, cut=result.cut,
+            result=result if portfolio.keep_results else None)
+    except Exception as exc:
+        record = RunRecord(
+            index=index, seed=seed, status=STATUS_FAILED,
+            error="".join(traceback.format_exception_only(exc)).strip())
+    record.wall_seconds = time.perf_counter() - wall0
+    record.cpu_seconds = time.process_time() - cpu0
+    record.worker = worker
+    record.attempts = attempt
+    return record
+
+
+class SerialExecutor:
+    """Runs starts in order, in-process — the harness's historical
+    behaviour plus fault isolation and budget flagging."""
+
+    jobs = 1
+
+    def run(self, portfolio: Portfolio) -> PortfolioResult:
+        wall0 = time.perf_counter()
+        records: List[RunRecord] = []
+        for job in portfolio.jobs():
+            record = self._run_with_retries(portfolio, job)
+            records.append(record)
+        return PortfolioResult(
+            algorithm=portfolio.name, circuit=portfolio.hg.name,
+            records=records, wall_seconds=time.perf_counter() - wall0,
+            jobs=1)
+
+    def _run_with_retries(self, portfolio: Portfolio,
+                          job: Job) -> RunRecord:
+        attempt = 1
+        while True:
+            record = _execute_start(portfolio, job.index, job.seed,
+                                    attempt, worker="serial")
+            budget = portfolio.budget_seconds
+            if (record.ok and budget is not None
+                    and record.wall_seconds > budget):
+                # Cannot pre-empt in-process; flag the overrun so stats
+                # match what a killing executor would have reported.
+                record.status = STATUS_TIMEOUT
+                record.cut = None
+                record.result = None
+                record.error = (f"exceeded budget of {budget:g}s "
+                                f"({record.wall_seconds:.2f}s)")
+            if record.status != STATUS_FAILED or attempt > portfolio.retries:
+                return record
+            attempt += 1
+
+
+# Portfolio being executed by the current pool; workers inherit this
+# through fork, so the netlist and algorithm never cross a pipe.
+_ACTIVE: Optional[Portfolio] = None
+
+
+def _pool_run(task: Tuple[int, int, int]) -> RunRecord:
+    index, seed, attempt = task
+    assert _ACTIVE is not None, "worker forked without an active portfolio"
+    return _execute_start(_ACTIVE, index, seed, attempt,
+                          worker=f"pid:{os.getpid()}")
+
+
+class ProcessExecutor:
+    """Fans starts out to a fork-based worker pool.
+
+    ``budget_seconds`` (from the portfolio) bounds how long the parent
+    waits on each outstanding start while collecting, measured per
+    ``get``; a start that blows it is recorded as a timeout and its
+    worker is killed when the pool shuts down.  Failed (raising) starts
+    are resubmitted up to ``retries`` times; timeouts are not retried —
+    a hung worker already costs a pool slot.
+    """
+
+    def __init__(self, jobs: int):
+        if jobs < 2:
+            raise ConfigError(f"ProcessExecutor needs jobs >= 2, got {jobs}")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ConfigError(
+                "ProcessExecutor requires the 'fork' start method")
+        self.jobs = jobs
+
+    def run(self, portfolio: Portfolio) -> PortfolioResult:
+        global _ACTIVE
+        wall0 = time.perf_counter()
+        context = multiprocessing.get_context("fork")
+        _ACTIVE = portfolio
+        timed_out = False
+        records = {}
+        try:
+            with context.Pool(processes=self.jobs) as pool:
+                pending = [(job.index, job.seed, 1)
+                           for job in portfolio.jobs()]
+                while pending:
+                    inflight = [(task, pool.apply_async(_pool_run, (task,)))
+                                for task in pending]
+                    pending = []
+                    for task, handle in inflight:
+                        index, seed, attempt = task
+                        record = self._collect(portfolio, handle, index,
+                                               seed, attempt)
+                        timed_out |= record.status == STATUS_TIMEOUT
+                        if (record.status == STATUS_FAILED
+                                and attempt <= portfolio.retries):
+                            pending.append((index, seed, attempt + 1))
+                            continue
+                        records[index] = record
+                if timed_out:
+                    # Hung workers never return; don't join them.
+                    pool.terminate()
+        finally:
+            _ACTIVE = None
+        ordered = [records[i] for i in sorted(records)]
+        return PortfolioResult(
+            algorithm=portfolio.name, circuit=portfolio.hg.name,
+            records=ordered, wall_seconds=time.perf_counter() - wall0,
+            jobs=self.jobs)
+
+    @staticmethod
+    def _collect(portfolio: Portfolio, handle, index: int, seed: int,
+                 attempt: int) -> RunRecord:
+        try:
+            return handle.get(timeout=portfolio.budget_seconds)
+        except multiprocessing.TimeoutError:
+            return RunRecord(
+                index=index, seed=seed, status=STATUS_TIMEOUT,
+                wall_seconds=portfolio.budget_seconds or 0.0,
+                worker="pool", attempts=attempt,
+                error=f"no result within {portfolio.budget_seconds:g}s")
+        except Exception as exc:
+            # The worker died before returning (segfault, os._exit, ...).
+            return RunRecord(
+                index=index, seed=seed, status=STATUS_FAILED,
+                worker="pool", attempts=attempt,
+                error="".join(
+                    traceback.format_exception_only(exc)).strip())
+
+
+def get_executor(jobs: int = 1, executor=None):
+    """Resolve the ``jobs=``/``executor=`` knobs to an executor.
+
+    An explicit ``executor`` object wins; otherwise ``jobs == 1`` is
+    serial and ``jobs > 1`` a fork pool of that width (falling back to
+    serial, with a warning, on platforms without ``fork``).
+    """
+    if executor is not None:
+        return executor
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        return SerialExecutor()
+    try:
+        return ProcessExecutor(jobs)
+    except ConfigError as exc:
+        warnings.warn(f"parallel execution unavailable ({exc}); "
+                      "running serially", RuntimeWarning, stacklevel=2)
+        return SerialExecutor()
+
+
+def execute(portfolio: Portfolio, jobs: int = 1,
+            executor=None) -> PortfolioResult:
+    """Run ``portfolio`` on the executor selected by ``jobs``/``executor``."""
+    return get_executor(jobs, executor).run(portfolio)

@@ -1,0 +1,79 @@
+"""Portfolio job descriptions.
+
+A :class:`Portfolio` is the unit the executors run: ``runs`` seeded
+starts of one algorithm on one circuit.  Per-start seeds come from
+:func:`repro.rng.child_seeds`, the same derivation the serial harness
+uses, so the seed sequence — and therefore the cut set — is independent
+of how the starts are scheduled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import ConfigError
+from ..hypergraph import Hypergraph
+from ..rng import SeedLike, child_seeds
+
+__all__ = ["Job", "Portfolio"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One start: position in the portfolio plus its derived seed."""
+
+    index: int
+    seed: int
+
+
+@dataclass
+class Portfolio:
+    """``runs`` seeded starts of ``algorithm`` on ``hg``.
+
+    ``algorithm`` is anything with a ``name`` and an
+    ``fn(hg, seed) -> result`` whose result exposes ``cut`` —
+    :class:`repro.harness.Algorithm` in practice.
+
+    ``budget_seconds`` bounds each start's wall clock (best effort: the
+    process executor stops waiting and kills stragglers at shutdown;
+    the serial executor can only flag an overrun after it finishes).
+    ``retries`` re-executes raising starts with the same seed; retry is
+    for flaky environments, a deterministic crash fails every attempt.
+    ``keep_results`` stores each start's full result object on its
+    record (needed to recover the best partition, costs memory).
+    """
+
+    algorithm: object
+    hg: Hypergraph
+    runs: int
+    seed: SeedLike = 0
+    budget_seconds: Optional[float] = None
+    retries: int = 0
+    keep_results: bool = False
+
+    def __post_init__(self):
+        if self.runs < 1:
+            raise ConfigError(f"runs must be >= 1, got {self.runs}")
+        if self.retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {self.retries}")
+        if self.budget_seconds is not None and self.budget_seconds <= 0:
+            raise ConfigError(
+                f"budget_seconds must be > 0, got {self.budget_seconds}")
+        if not callable(getattr(self.algorithm, "fn", None)):
+            raise ConfigError(
+                "algorithm must expose a callable .fn(hg, seed)")
+
+    @property
+    def name(self) -> str:
+        return getattr(self.algorithm, "name", "anonymous")
+
+    @property
+    def fn(self) -> Callable[[Hypergraph, int], object]:
+        return self.algorithm.fn
+
+    def jobs(self) -> List[Job]:
+        """The start list; position-stable in ``runs`` like the paper's
+        10-of-100 prefix protocol."""
+        return [Job(index=i, seed=s)
+                for i, s in enumerate(child_seeds(self.seed, self.runs))]

@@ -1,0 +1,121 @@
+"""Structured results of portfolio execution.
+
+A portfolio run produces one :class:`RunRecord` per start — success or
+not — and a :class:`PortfolioResult` aggregating them.  Records keep
+both wall-clock and CPU time (the paper's Table VIII reports CPU
+seconds; earlier versions of the harness conflated the two) plus enough
+provenance (seed, worker, attempts) to re-run any individual start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, TYPE_CHECKING
+
+from ..errors import HarnessError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..harness.runner import CellStats
+
+__all__ = ["RunRecord", "PortfolioResult",
+           "STATUS_OK", "STATUS_FAILED", "STATUS_TIMEOUT"]
+
+#: The start returned a result.
+STATUS_OK = "ok"
+#: The start raised; ``error`` holds the formatted exception.
+STATUS_FAILED = "failed"
+#: The start exceeded its wall-clock budget (parallel executors kill
+#: the worker; the serial executor can only flag it after the fact).
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one seeded start of a portfolio.
+
+    ``cut`` and ``result`` are ``None`` unless ``status == "ok"``
+    (``result`` additionally requires the portfolio's ``keep_results``).
+    ``attempts`` counts executions including retries; ``worker``
+    identifies who ran it (``"serial"`` or ``"pid:<n>"``).
+    """
+
+    index: int
+    seed: int
+    status: str
+    cut: Optional[int] = None
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    worker: str = "serial"
+    error: Optional[str] = None
+    attempts: int = 1
+    result: Optional[object] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+@dataclass
+class PortfolioResult:
+    """All records of one portfolio, in start-index order.
+
+    The cut list over successful runs is a pure function of the seed
+    sequence, so it is identical at any worker count; only the timing
+    fields vary between executors.
+    """
+
+    algorithm: str
+    circuit: str
+    records: List[RunRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    jobs: int = 1
+
+    @property
+    def runs(self) -> int:
+        return len(self.records)
+
+    @property
+    def ok_records(self) -> List[RunRecord]:
+        return [r for r in self.records if r.ok]
+
+    @property
+    def failures(self) -> List[RunRecord]:
+        return [r for r in self.records if not r.ok]
+
+    @property
+    def cuts(self) -> List[int]:
+        """Cuts of the successful runs, in start-index order."""
+        return [r.cut for r in self.ok_records]
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Total CPU time over all runs (summed across workers)."""
+        return sum(r.cpu_seconds for r in self.records)
+
+    @property
+    def best(self) -> RunRecord:
+        """The successful record with the minimum cut."""
+        ok = self.ok_records
+        if not ok:
+            raise HarnessError(
+                f"all {self.runs} runs of {self.algorithm!r} on "
+                f"{self.circuit!r} failed; no best record")
+        return min(ok, key=lambda r: (r.cut, r.index))
+
+    def to_cell_stats(self) -> "CellStats":
+        """Aggregate into the harness's per-table-cell statistics."""
+        from ..harness.runner import CellStats
+        return CellStats(algorithm=self.algorithm, circuit=self.circuit,
+                         cuts=self.cuts, cpu_seconds=self.cpu_seconds,
+                         wall_seconds=self.wall_seconds,
+                         failures=len(self.failures))
+
+    def summary(self) -> str:
+        """One log line: ``MLC on struct: 9/10 ok, min 61, 2.1s wall``."""
+        ok = self.ok_records
+        min_cut = min((r.cut for r in ok), default=None)
+        return (f"{self.algorithm} on {self.circuit}: "
+                f"{len(ok)}/{self.runs} ok, min "
+                f"{'-' if min_cut is None else min_cut}, "
+                f"{self.wall_seconds:.2f}s wall / "
+                f"{self.cpu_seconds:.2f}s cpu, jobs={self.jobs}")

@@ -111,5 +111,7 @@ class TestGoldenRegression:
         assert clip_bipartition(hg, seed=11).cut == 21
 
     def test_ml_cut_pinned(self):
+        # 24 before build_hierarchy switched to a private child stream
+        # (the hierarchy-reuse contract); re-pinned deliberately.
         hg = hierarchical_circuit(300, 360, seed=2024)
-        assert ml_bipartition(hg, seed=11).cut == 24
+        assert ml_bipartition(hg, seed=11).cut == 20

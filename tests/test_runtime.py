@@ -1,0 +1,250 @@
+"""Tests for the parallel multi-start runtime subsystem."""
+
+import copy
+import time
+
+import pytest
+
+from repro.core import MLConfig, build_hierarchy, ml_bipartition
+from repro.errors import ClusteringError, ConfigError, HarnessError
+from repro.harness import Algorithm, CellStats, run_cell, run_matrix
+from repro.hypergraph import hierarchical_circuit, load_circuit
+from repro.runtime import (HierarchyCache, Portfolio, ProcessExecutor,
+                           SerialExecutor, STATUS_FAILED, STATUS_OK,
+                           STATUS_TIMEOUT, execute, get_executor,
+                           ml_portfolio)
+from repro.fm import fm_bipartition
+
+
+def _fm() -> Algorithm:
+    return Algorithm("FM", lambda hg, s: fm_bipartition(hg, seed=s))
+
+
+def _failing_on_even_seed() -> Algorithm:
+    def run(hg, s):
+        if s % 2 == 0:
+            raise RuntimeError(f"injected crash for seed {s}")
+        return fm_bipartition(hg, seed=s)
+    return Algorithm("FLAKY", run)
+
+
+def _always_failing() -> Algorithm:
+    def run(hg, s):
+        raise ValueError("always broken")
+    return Algorithm("BROKEN", run)
+
+
+class TestDeterminism:
+    """Same seed => same cuts at any worker count."""
+
+    @pytest.mark.parametrize("circuit", ["struct", "primary2"])
+    def test_run_cell_suite_circuits(self, circuit):
+        hg = load_circuit(circuit, scale=0.05, seed=0)
+        serial = run_cell(_fm(), hg, runs=4, seed=11, jobs=1)
+        parallel = run_cell(_fm(), hg, runs=4, seed=11, jobs=4)
+        assert sorted(serial.cuts) == sorted(parallel.cuts)
+        assert serial.cuts == parallel.cuts  # index order, not just sets
+
+    def test_ml_portfolio_worker_counts(self, medium_hg):
+        serial = ml_portfolio(medium_hg, runs=4, seed=5, jobs=1,
+                              cache=HierarchyCache())
+        parallel = ml_portfolio(medium_hg, runs=4, seed=5, jobs=2,
+                                cache=HierarchyCache())
+        assert serial.cuts == parallel.cuts
+
+    def test_run_matrix_accepts_jobs(self, medium_hg):
+        one = run_matrix([_fm()], [medium_hg], runs=2, seed=0, jobs=1)
+        two = run_matrix([_fm()], [medium_hg], runs=2, seed=0, jobs=2)
+        assert one["medium"]["FM"].cuts == two["medium"]["FM"].cuts
+
+    def test_serial_matches_historical_child_seed_protocol(self, medium_hg):
+        """jobs=1 reproduces the pre-runtime serial runner exactly."""
+        from repro.rng import child_seeds
+        expected = [fm_bipartition(medium_hg, seed=s).cut
+                    for s in child_seeds(7, 3)]
+        assert run_cell(_fm(), medium_hg, runs=3, seed=7).cuts == expected
+
+
+class TestFaultIsolation:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_sweep_survives_crashing_runs(self, medium_hg, jobs):
+        outcome = execute(
+            Portfolio(_failing_on_even_seed(), medium_hg, runs=8, seed=0),
+            jobs=jobs)
+        assert outcome.runs == 8
+        assert outcome.failures and outcome.ok_records
+        for record in outcome.failures:
+            assert record.status == STATUS_FAILED
+            assert "injected crash" in record.error
+            assert record.cut is None
+        stats = outcome.to_cell_stats()
+        assert stats.failures == len(outcome.failures)
+        assert stats.runs == len(outcome.ok_records)
+        assert stats.min_cut <= stats.avg_cut  # survivors aggregate fine
+
+    def test_all_failed_portfolio(self, medium_hg):
+        outcome = execute(
+            Portfolio(_always_failing(), medium_hg, runs=3, seed=0))
+        assert [r.status for r in outcome.records] == [STATUS_FAILED] * 3
+        with pytest.raises(HarnessError):
+            outcome.best
+        stats = outcome.to_cell_stats()
+        assert stats.runs == 0 and stats.failures == 3
+        for prop in ("min_cut", "avg_cut", "std_cut"):
+            with pytest.raises(HarnessError):
+                getattr(stats, prop)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_retries_recorded(self, medium_hg, jobs):
+        outcome = execute(
+            Portfolio(_always_failing(), medium_hg, runs=2, seed=0,
+                      retries=2),
+            jobs=jobs)
+        assert all(r.attempts == 3 for r in outcome.records)
+        assert all(r.status == STATUS_FAILED for r in outcome.records)
+
+    @pytest.mark.parallel
+    def test_budget_flags_hung_start(self, medium_hg):
+        def hang(hg, s):
+            time.sleep(30)
+        outcome = execute(
+            Portfolio(Algorithm("HANG", hang), medium_hg, runs=2, seed=0,
+                      budget_seconds=0.5),
+            jobs=2)
+        assert outcome.runs == 2
+        assert all(r.status == STATUS_TIMEOUT for r in outcome.records)
+        assert outcome.wall_seconds < 20  # the sweep did not wait them out
+
+
+class TestHierarchyReuse:
+    def test_prebuilt_matches_fresh_run(self, large_hg):
+        config = MLConfig(engine="clip", matching_ratio=0.5)
+        for seed in (3, 11):
+            fresh = ml_bipartition(large_hg, config=config, seed=seed)
+            prebuilt = build_hierarchy(large_hg, config, seed=seed)
+            reused = ml_bipartition(large_hg, config=config, seed=seed,
+                                    hierarchy=prebuilt)
+            assert reused.cut == fresh.cut
+            assert reused.partition == fresh.partition
+
+    def test_refinement_never_mutates_hierarchy(self, large_hg):
+        config = MLConfig(matching_ratio=0.6)
+        hierarchy = build_hierarchy(large_hg, config, seed=1)
+        netlists_before = copy.deepcopy(hierarchy.netlists)
+        clusterings_before = copy.deepcopy(hierarchy.clusterings)
+        for seed in (1, 2, 3):
+            ml_bipartition(large_hg, config=config, seed=seed,
+                           hierarchy=hierarchy)
+        assert hierarchy.netlists == netlists_before
+        assert [c.cluster_of for c in hierarchy.clusterings] \
+            == [c.cluster_of for c in clusterings_before]
+
+    def test_portfolio_coarsens_exactly_once(self, medium_hg, monkeypatch):
+        import repro.runtime.cache as cache_module
+        calls = []
+        real = cache_module.build_hierarchy
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(cache_module, "build_hierarchy", spy)
+        outcome = ml_portfolio(medium_hg, runs=6, seed=4,
+                               cache=HierarchyCache())
+        assert len(outcome.cuts) == 6
+        assert len(calls) == 1
+
+    def test_cache_hit_returns_same_object(self, medium_hg):
+        cache = HierarchyCache()
+        config = MLConfig()
+        first = cache.get(medium_hg, config, seed=0)
+        second = cache.get(medium_hg, config, seed=0)
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.get(medium_hg, config, seed=1) is not first
+        assert cache.misses == 2
+
+    def test_cache_evicts_lru(self, medium_hg):
+        cache = HierarchyCache(max_entries=2)
+        config = MLConfig()
+        for seed in range(3):
+            cache.get(medium_hg, config, seed=seed)
+        assert len(cache) == 2
+        assert cache.get(medium_hg, config, seed=0) is not None
+        assert cache.misses == 4  # seed 0 was evicted and rebuilt
+
+    def test_foreign_hierarchy_rejected(self, medium_hg, large_hg):
+        hierarchy = build_hierarchy(large_hg, MLConfig(), seed=0)
+        with pytest.raises(ClusteringError):
+            ml_bipartition(medium_hg, seed=0, hierarchy=hierarchy)
+
+
+class TestCellStats:
+    def test_wall_and_cpu_recorded(self, medium_hg):
+        stats = run_cell(_fm(), medium_hg, runs=3, seed=0)
+        assert stats.wall_seconds > 0
+        assert stats.cpu_seconds > 0
+        assert stats.failures == 0
+
+    def test_backward_compatible_constructor(self):
+        stats = CellStats(algorithm="A", circuit="c", cuts=[3, 4],
+                          cpu_seconds=2.0)
+        assert stats.wall_seconds == 2.0
+        assert stats.elapsed_seconds == 2.0
+        assert stats.min_cut == 3
+
+    def test_zero_runs_still_rejected(self, medium_hg):
+        with pytest.raises(ConfigError):
+            run_cell(_fm(), medium_hg, runs=0)
+
+
+class TestExecutors:
+    def test_get_executor_selection(self):
+        assert isinstance(get_executor(1), SerialExecutor)
+        assert isinstance(get_executor(3), ProcessExecutor)
+        with pytest.raises(ConfigError):
+            get_executor(0)
+
+    def test_process_executor_needs_two_workers(self):
+        with pytest.raises(ConfigError):
+            ProcessExecutor(1)
+
+    def test_explicit_executor_wins(self, medium_hg):
+        executor = SerialExecutor()
+        outcome = execute(Portfolio(_fm(), medium_hg, runs=2, seed=0),
+                          jobs=8, executor=executor)
+        assert outcome.jobs == 1
+        assert all(r.worker == "serial" for r in outcome.records)
+
+    def test_worker_ids_recorded(self, medium_hg):
+        outcome = execute(Portfolio(_fm(), medium_hg, runs=4, seed=0),
+                          jobs=2)
+        assert all(r.worker.startswith("pid:") for r in outcome.records)
+
+    def test_portfolio_validation(self, medium_hg):
+        with pytest.raises(ConfigError):
+            Portfolio(_fm(), medium_hg, runs=0)
+        with pytest.raises(ConfigError):
+            Portfolio(_fm(), medium_hg, runs=1, retries=-1)
+        with pytest.raises(ConfigError):
+            Portfolio(_fm(), medium_hg, runs=1, budget_seconds=0)
+        with pytest.raises(ConfigError):
+            Portfolio(object(), medium_hg, runs=1)
+
+
+@pytest.mark.parallel
+class TestParallelSmoke:
+    """Tier-1-safe smoke test: a real 2-worker portfolio, tiny circuit."""
+
+    def test_two_worker_portfolio(self):
+        hg = hierarchical_circuit(120, 150, seed=9, name="smoke")
+        outcome = ml_portfolio(hg, runs=4, seed=2, jobs=2,
+                               cache=HierarchyCache())
+        assert outcome.jobs == 2
+        assert [r.status for r in outcome.records] == [STATUS_OK] * 4
+        reference = ml_portfolio(hg, runs=4, seed=2, jobs=1,
+                                 cache=HierarchyCache())
+        assert outcome.cuts == reference.cuts
+        stats = outcome.to_cell_stats()
+        assert stats.runs == 4
+        assert stats.min_cut == min(outcome.cuts)
