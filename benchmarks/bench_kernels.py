@@ -1,0 +1,161 @@
+"""Kernel benchmark baseline: reference vs CSR kernels, per hot path.
+
+Times the four kernels of the coarsen–refine hot path in both kernel
+modes (``repro.kernels``) on the Table I-calibrated synthetic suite:
+
+* ``state_init``  — :class:`~repro.partition.PartitionState`
+  construction (counts/spans/objectives from scratch);
+* ``fm_pass``     — a full FM bipartitioning call (all passes, the
+  two-phase gain-update loops and bucket maintenance);
+* ``coarsen``     — :func:`~repro.core.ml.build_hierarchy` (matching +
+  induction down to the coarsening threshold);
+* ``ml_end_to_end`` — :func:`~repro.core.ml.ml_bipartition`, the MLc
+  configuration the paper's Table VI/VIII measure.
+
+Every cell is a best-of-``REPEATS`` wall-clock pair (reference first,
+then CSR), and the two modes' *results* are asserted identical — the
+bit-identity contract means the benchmark doubles as an oracle run.
+The table is printed and written to ``BENCH_kernels.json`` at the repo
+root, the file that tracks the repo's kernel-performance trajectory.
+
+Run directly (``python benchmarks/bench_kernels.py``) or via pytest.
+Environment knobs: ``REPRO_BENCH_SCALE`` (default 0.05, the mini-suite
+scale), ``REPRO_BENCH_KERNEL_REPEATS`` (default 3),
+``REPRO_BENCH_KERNEL_CIRCUITS`` (comma-separated subset of the mini
+suite).
+"""
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro import MLConfig, build_hierarchy, ml_bipartition
+from repro.fm import fm_bipartition
+from repro.hypergraph import load_circuit, mini_suite_names
+from repro.kernels import use_kernels
+from repro.partition import PartitionState, random_partition
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+REPEATS = int(os.environ.get("REPRO_BENCH_KERNEL_REPEATS", "3"))
+SEED = 7
+CONFIG = MLConfig(engine="clip")
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+
+def _circuit_names():
+    names = os.environ.get("REPRO_BENCH_KERNEL_CIRCUITS")
+    if names:
+        return [n.strip() for n in names.split(",") if n.strip()]
+    return mini_suite_names()
+
+
+def _kernels(hg):
+    """(name, callable) pairs; each callable returns a comparable value."""
+    seed_part = random_partition(hg, seed=SEED)
+
+    def state_init():
+        state = PartitionState(hg, seed_part)
+        return (state.cut_weight, state.soed_weight)
+
+    def fm_pass():
+        result = fm_bipartition(hg, seed=SEED)
+        return (result.cut, result.partition.assignment)
+
+    def coarsen():
+        hierarchy = build_hierarchy(hg, CONFIG, seed=SEED)
+        return [n.num_modules for n in hierarchy.netlists]
+
+    def ml_end_to_end():
+        result = ml_bipartition(hg, config=CONFIG, seed=SEED)
+        return (result.cut, result.partition.assignment)
+
+    return [("state_init", state_init), ("fm_pass", fm_pass),
+            ("coarsen", coarsen), ("ml_end_to_end", ml_end_to_end)]
+
+
+def _best_of(fn):
+    fn()  # warm the per-netlist caches (CSR views, active sets)
+    best = float("inf")
+    value = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def run_bench():
+    rows = []
+    circuits = {}
+    for name in _circuit_names():
+        hg = load_circuit(name, scale=SCALE, seed=0)
+        circuits[name] = {"modules": hg.num_modules, "nets": hg.num_nets,
+                          "pins": hg.num_pins}
+        for kernel, fn in _kernels(hg):
+            with use_kernels("reference"):
+                t_ref, v_ref = _best_of(fn)
+            with use_kernels("csr"):
+                t_csr, v_csr = _best_of(fn)
+            assert v_csr == v_ref, (
+                f"kernel modes diverged on {name}/{kernel}")
+            rows.append({
+                "circuit": name,
+                "kernel": kernel,
+                "reference_s": round(t_ref, 6),
+                "csr_s": round(t_csr, 6),
+                "speedup": round(t_ref / t_csr, 3) if t_csr else None,
+                "identical": True,
+            })
+
+    largest = max(circuits, key=lambda n: circuits[n]["modules"])
+    headline = next(r for r in rows
+                    if r["circuit"] == largest
+                    and r["kernel"] == "ml_end_to_end")
+    report = {
+        "meta": {
+            "scale": SCALE,
+            "repeats": REPEATS,
+            "seed": SEED,
+            "config": "MLc (engine=clip)",
+            "python": platform.python_version(),
+            "modes": ["reference", "csr"],
+        },
+        "circuits": circuits,
+        "results": rows,
+        "summary": {
+            "largest_circuit": largest,
+            "ml_end_to_end_speedup": headline["speedup"],
+        },
+    }
+    return report
+
+
+def print_report(report):
+    print(f"\nkernel benchmark (scale={report['meta']['scale']}, "
+          f"best of {report['meta']['repeats']})")
+    header = f"{'circuit':>10} {'kernel':>14} {'ref':>9} {'csr':>9} {'x':>6}"
+    print(header)
+    for r in report["results"]:
+        print(f"{r['circuit']:>10} {r['kernel']:>14} "
+              f"{r['reference_s']:9.4f} {r['csr_s']:9.4f} "
+              f"{r['speedup']:6.2f}")
+    s = report["summary"]
+    print(f"largest circuit {s['largest_circuit']}: "
+          f"{s['ml_end_to_end_speedup']:.2f}x end-to-end MLc")
+
+
+def test_bench_kernels():
+    report = run_bench()
+    print_report(report)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    # Bit-identity is asserted per cell inside run_bench; here only a
+    # loose sanity bound so a loaded CI box cannot flake the suite —
+    # the committed BENCH_kernels.json records the real (>=2x) ratio.
+    assert report["summary"]["ml_end_to_end_speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    test_bench_kernels()

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 from ..errors import ClusteringError, ConfigError
 from ..hypergraph import Hypergraph
+from ..kernels import csr_enabled
 from ..rng import SeedLike, make_rng, random_permutation
 from .clustering import Clustering
 
@@ -59,6 +60,24 @@ def _neighbour_scores(hg: Hypergraph, v: int, matched: List[bool],
     realised as a dict so reinitialisation is free.
     """
     scores: Dict[int, float] = {}
+    if csr_enabled():
+        # Flat-view kernel: the scan is the coarsening hot path (one
+        # call per matched module), so bind the materialised vectors
+        # locally and use dict.get directly.
+        view = hg.csr
+        net_sizes = view.sizes_list
+        net_weights = view.weights_list
+        net_pins = view.net_pins
+        get = scores.get
+        for e in view.module_nets[v]:
+            size = net_sizes[e]
+            if size > max_net_size:
+                continue
+            contribution = net_weights[e] / (size - 1)
+            for w in net_pins[e]:
+                if w != v and not matched[w]:
+                    scores[w] = get(w, 0.0) + contribution
+        return scores
     for e in hg.nets(v):
         size = hg.net_size(e)
         if size > max_net_size:
@@ -106,6 +125,7 @@ def match(hg: Hypergraph,
     rng = rng if rng is not None else make_rng(seed)
 
     n = hg.num_modules
+    areas = hg.csr.areas_list if csr_enabled() else None
     perm = random_permutation(n, rng)
     matched = [False] * n
     cluster_of = [-1] * n
@@ -134,12 +154,13 @@ def match(hg: Hypergraph,
             if scheme == "random":
                 best = rng.choice(sorted(scores))
             else:
-                area_v = hg.area(v)
+                area_v = areas[v] if areas is not None else hg.area(v)
                 best_score = 0.0
                 for w in sorted(scores):
                     s = scores[w]
                     if scheme == "conn":
-                        s /= area_v * hg.area(w)
+                        s /= area_v * (areas[w] if areas is not None
+                                       else hg.area(w))
                     if s > best_score:
                         best_score = s
                         best = w

@@ -155,9 +155,185 @@ class LinkedListBuckets(GainBuckets):
             self._prev[nxt] = prv
         self._present[item] = False
         self._size -= 1
+        if idx == self._top and self._head[idx] == _NIL:
+            self._settle_top()
+
+    def _settle_top(self) -> None:
+        # Max-gain cursor maintenance: drop ``_top`` to the highest
+        # non-empty bucket so the next selection starts there instead
+        # of rescanning the empty prefix.  Amortised O(1): every
+        # downward step was paid for by an earlier insert that raised
+        # the cursor.
+        top = self._top
+        head = self._head
+        while top >= 0 and head[top] == _NIL:
+            top -= 1
+        self._top = top
+
+    def update(self, item: int, new_gain: int) -> None:
+        # One relink instead of remove() + insert(): the FM engines
+        # call this once per touched pin, making it the single
+        # hottest bucket operation.  Semantics are identical — the
+        # item leaves its old bucket and enters the new one at the
+        # policy's insertion end.
+        if not self._present[item]:
+            raise ConfigError(f"item {item} not in buckets")
+        new_idx = self._index(new_gain)
+        old_idx = self._gain[item] + self._max_gain
+        head = self._head
+        tail = self._tail
+        nxt_a = self._next
+        prv_a = self._prev
+        nxt, prv = nxt_a[item], prv_a[item]
+        if prv == _NIL:
+            head[old_idx] = nxt
+        else:
+            nxt_a[prv] = nxt
+        if nxt == _NIL:
+            tail[old_idx] = prv
+        else:
+            prv_a[nxt] = prv
+        if self._lifo:
+            old = head[new_idx]
+            nxt_a[item] = old
+            prv_a[item] = _NIL
+            head[new_idx] = item
+            if old == _NIL:
+                tail[new_idx] = item
+            else:
+                prv_a[old] = item
+        else:
+            old = tail[new_idx]
+            prv_a[item] = old
+            nxt_a[item] = _NIL
+            tail[new_idx] = item
+            if old == _NIL:
+                head[new_idx] = item
+            else:
+                nxt_a[old] = item
+        self._gain[item] = new_gain
+        if new_idx > self._top:
+            self._top = new_idx
+        elif old_idx == self._top and head[old_idx] == _NIL:
+            self._settle_top()
 
     def contains(self, item: int) -> bool:
         return self._present[item]
+
+    def fill(self, items, gains) -> None:
+        """Bulk-insert absent ``items`` with per-item ``gains[item]``.
+
+        Equivalent to ``for v in items: insert(v, gains[v])`` but with
+        the per-item linking inlined — the FM engines seed every pass
+        through this.  Precondition (unchecked): no item is already
+        present and every gain is within range; the engines guarantee
+        both.
+        """
+        head = self._head
+        tail = self._tail
+        nxt = self._next
+        prv = self._prev
+        gain_arr = self._gain
+        present = self._present
+        max_gain = self._max_gain
+        width = 2 * max_gain + 1
+        top = self._top
+        n = 0
+        if self._lifo:
+            for item in items:
+                gain = gains[item]
+                idx = gain + max_gain
+                if not 0 <= idx < width:
+                    raise ConfigError(
+                        f"gain {gain} outside [-{max_gain}, {max_gain}]")
+                old = head[idx]
+                nxt[item] = old
+                prv[item] = _NIL
+                head[idx] = item
+                if old == _NIL:
+                    tail[idx] = item
+                else:
+                    prv[old] = item
+                gain_arr[item] = gain
+                present[item] = True
+                n += 1
+                if idx > top:
+                    top = idx
+        else:
+            for item in items:
+                gain = gains[item]
+                idx = gain + max_gain
+                if not 0 <= idx < width:
+                    raise ConfigError(
+                        f"gain {gain} outside [-{max_gain}, {max_gain}]")
+                old = tail[idx]
+                prv[item] = old
+                nxt[item] = _NIL
+                tail[idx] = item
+                if old == _NIL:
+                    head[idx] = item
+                else:
+                    nxt[old] = item
+                gain_arr[item] = gain
+                present[item] = True
+                n += 1
+                if idx > top:
+                    top = idx
+        self._size += n
+        self._top = top
+
+    def fill_uniform(self, items, gain: int) -> None:
+        """Bulk-insert absent ``items`` into one bucket, in order.
+
+        Equivalent to ``for v in items: insert(v, gain)`` (CLIP's
+        concatenation into the zero bucket).  Same unchecked
+        precondition as :meth:`fill`.
+        """
+        idx = self._index(gain)
+        nxt = self._next
+        prv = self._prev
+        gain_arr = self._gain
+        present = self._present
+        # Sequential head-insertion (LIFO) reverses the order;
+        # sequential tail-insertion (FIFO) preserves it.  Build the
+        # final chain directly and splice it in.
+        chain = list(items)
+        if not chain:
+            return
+        first = chain[-1] if self._lifo else chain[0]
+        last = chain[0] if self._lifo else chain[-1]
+        if self._lifo:
+            chain.reverse()
+        previous = _NIL
+        for item in chain:
+            prv[item] = previous
+            if previous != _NIL:
+                nxt[previous] = item
+            gain_arr[item] = gain
+            present[item] = True
+            previous = item
+        nxt[last] = _NIL
+        if self._lifo:
+            # The whole chain goes in front of any existing content.
+            old_head = self._head[idx]
+            nxt[last] = old_head
+            if old_head == _NIL:
+                self._tail[idx] = last
+            else:
+                prv[old_head] = first
+            self._head[idx] = first
+        else:
+            # The whole chain is appended after any existing content.
+            old_tail = self._tail[idx]
+            prv[first] = old_tail
+            if old_tail == _NIL:
+                self._head[idx] = first
+            else:
+                nxt[old_tail] = first
+            self._tail[idx] = last
+        self._size += len(chain)
+        if idx > self._top:
+            self._top = idx
 
     def gain_of(self, item: int) -> int:
         if not self._present[item]:

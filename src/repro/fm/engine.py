@@ -14,21 +14,31 @@ A *pass* moves previously-unmoved modules one at a time, always taking
 the highest-gain balance-feasible module, and finally rolls the solution
 back to the best prefix of the pass.  Passes repeat until one fails to
 improve the cut.
+
+Every hot kernel — initial gains, boundary scan, the two-phase gain
+update loop of a pass — exists in two families selected by
+:mod:`repro.kernels`: the default CSR family binds the flat incidence
+layer (``hg.csr``) into locals and inlines the per-pin gain bumps; the
+``_reference`` family preserves the original accessor-walking code as
+the correctness oracle and benchmark baseline.  The two families run
+the same arithmetic in the same order (identical move sequences,
+identical RNG draws), which the golden-cut tests pin.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import PartitionError
 from ..hypergraph import Hypergraph
+from ..kernels import csr_enabled
 from ..partition import (BalanceConstraint, Partition, PartitionState, cut,
                          random_partition)
 from ..partition.rebalance import rebalance_random
 from ..rng import SeedLike, make_rng
-from .buckets import make_buckets
+from .buckets import _NIL, LinkedListBuckets, make_buckets
 from .config import FMConfig
 
 __all__ = ["FMResult", "fm_bipartition"]
@@ -51,11 +61,15 @@ class FMResult:
     pass_cuts: List[int] = field(default_factory=list)
 
 
-def _active_nets(hg: Hypergraph, max_net_size: int) -> List[int]:
+def _active_nets(hg: Hypergraph, max_net_size: int) -> Sequence[int]:
+    """Nets small enough to refine; cached on the CSR layer."""
+    if csr_enabled():
+        return hg.csr.active_nets(max_net_size)
     return [e for e in hg.all_nets() if hg.net_size(e) <= max_net_size]
 
 
 def _max_weighted_degree(hg: Hypergraph, active: List[bool]) -> int:
+    """Reference gain bound over an arbitrary active-flag vector."""
     best = 0
     for v in hg.modules():
         d = sum(hg.net_weight(e) for e in hg.nets(v) if active[e])
@@ -66,6 +80,30 @@ def _max_weighted_degree(hg: Hypergraph, active: List[bool]) -> int:
 
 def _module_gain(state: PartitionState, v: int) -> int:
     """Weighted FM gain of moving module ``v`` to the other side."""
+    if csr_enabled():
+        return _module_gain_csr(state, v)
+    return _module_gain_reference(state, v)
+
+
+def _module_gain_csr(state: PartitionState, v: int) -> int:
+    view = state.hg.csr
+    net_weights = view.weights_list
+    src = state.part_of[v]
+    counts_src = state.counts[src]
+    counts_dst = state.counts[1 - src]
+    active = state.active
+    g = 0
+    for e in view.module_nets[v]:
+        if active[e]:
+            w = net_weights[e]
+            if counts_src[e] == 1:
+                g += w
+            if counts_dst[e] == 0:
+                g -= w
+    return g
+
+
+def _module_gain_reference(state: PartitionState, v: int) -> int:
     hg = state.hg
     src = state.part_of[v]
     dst = 1 - src
@@ -86,11 +124,81 @@ def _module_gain(state: PartitionState, v: int) -> int:
 
 def _initial_gains(state: PartitionState) -> List[int]:
     """Weighted FM gain of moving each module to the other side."""
-    return [_module_gain(state, v) for v in state.hg.modules()]
+    if not csr_enabled():
+        return [_module_gain_reference(state, v)
+                for v in state.hg.modules()]
+    # Single flat sweep: no per-module function call, no per-pin
+    # accessor dispatch.  When every net is active (the usual case)
+    # the per-visit flag test disappears as well.
+    view = state.hg.csr
+    module_nets = view.module_nets
+    net_weights = view.weights_list
+    part_of = state.part_of
+    c0, c1 = state.counts[0], state.counts[1]
+    gains = [0] * view.num_modules
+    if len(state._active_nets) == view.num_nets:
+        # Net-centric sweep: a net contributes to a pin's gain only
+        # when one of its sides holds 0 or 1 pins, so split nets (the
+        # common case) are skipped after two count lookups without
+        # touching their pins.  Integer adds commute, so the vector is
+        # identical to the module-centric accumulation.
+        net_pins = view.net_pins
+        for e, w in enumerate(net_weights):
+            a = c0[e]
+            b = c1[e]
+            if a == 1:
+                if b == 1:
+                    for u in net_pins[e]:
+                        gains[u] += w
+                else:
+                    for u in net_pins[e]:
+                        if part_of[u] == 0:
+                            gains[u] += w
+                            break
+            elif a == 0:
+                for u in net_pins[e]:
+                    gains[u] -= w
+            elif b == 1:
+                for u in net_pins[e]:
+                    if part_of[u]:
+                        gains[u] += w
+                        break
+            elif b == 0:
+                for u in net_pins[e]:
+                    gains[u] -= w
+        return gains
+    active = state.active
+    for v, nets_v in enumerate(module_nets):
+        if part_of[v]:
+            counts_src, counts_dst = c1, c0
+        else:
+            counts_src, counts_dst = c0, c1
+        g = 0
+        for e in nets_v:
+            if active[e]:
+                w = net_weights[e]
+                if counts_src[e] == 1:
+                    g += w
+                if counts_dst[e] == 0:
+                    g -= w
+        gains[v] = g
+    return gains
 
 
 def _boundary_modules(state: PartitionState) -> List[int]:
     """Modules incident to at least one cut active net."""
+    if csr_enabled():
+        view = state.hg.csr
+        module_nets = view.module_nets
+        spans = state.spans
+        active = state.active
+        out = []
+        for v in range(view.num_modules):
+            for e in module_nets[v]:
+                if active[e] and spans[e] > 1:
+                    out.append(v)
+                    break
+        return out
     hg = state.hg
     spans = state.spans
     out = []
@@ -134,6 +242,669 @@ def _lookahead_vector(state: PartitionState, locked_counts, v: int,
     return tuple(vec)
 
 
+def _move_loop_csr(state: PartitionState, buckets, gains: List[int],
+                   locked: List[bool], locked_counts, config: FMConfig,
+                   areas, lower: float, upper: float
+                   ) -> Tuple[List[Tuple[int, int]], int]:
+    """One FM pass's select/move/update loop over the CSR layer.
+
+    Mirrors :func:`_move_loop_reference` move for move; the speed comes
+    from local bindings of the flat views, inlined gain bumps (the
+    reference closure call per touched pin becomes two index ops), and
+    the buckets' O(1) relink ``update``.  The common configuration —
+    linked-list buckets, no boundary mode, no lookahead — takes the
+    fully inlined :func:`_move_loop_csr_ll` below.
+    """
+    if (locked_counts is None and not config.boundary
+            and type(buckets) is LinkedListBuckets and buckets._lifo
+            and state._active_nets
+            is state.hg.csr.active_nets(config.max_net_size)):
+        return _move_loop_csr_ll(state, buckets, gains, locked, config,
+                                 areas, lower, upper)
+    state._pass_best = None
+    hg = state.hg
+    view = hg.csr
+    module_nets = view.module_nets
+    net_pins = view.net_pins
+    net_weights = view.weights_list
+    part_of = state.part_of
+    counts = state.counts
+    active = state.active
+    part_area = state.part_area
+    boundary = config.boundary
+    early_stall = config.early_exit_stall
+    update = buckets.update
+    iter_desc = buckets.iter_desc
+
+    moves: List[Tuple[int, int]] = []
+    best_cut = state.cut_weight
+    best_index = 0
+    stall = 0
+
+    pending: set = set()
+    if boundary:
+        contains = buckets.contains
+
+        def bump(u, delta):
+            if contains(u):
+                gains[u] += delta
+                update(u, gains[u])
+            else:
+                # Newly on the boundary; see _move_loop_reference.
+                pending.add(u)
+
+    while len(buckets):
+        chosen = -1
+        if locked_counts is None:
+            for v in iter_desc():
+                src = part_of[v]
+                a = areas[v]
+                if (part_area[src] - a >= lower
+                        and part_area[1 - src] + a <= upper):
+                    chosen = v
+                    break
+        else:
+            best_vec = None
+            chosen_gain = 0
+            for v in iter_desc():
+                if chosen >= 0 and gains[v] != chosen_gain:
+                    break
+                src = part_of[v]
+                a = areas[v]
+                if not (part_area[src] - a >= lower
+                        and part_area[1 - src] + a <= upper):
+                    continue
+                vec = _lookahead_vector(state, locked_counts, v,
+                                        config.lookahead)
+                if chosen < 0 or vec > best_vec:
+                    chosen = v
+                    best_vec = vec
+                    chosen_gain = gains[v]
+        if chosen < 0:
+            break  # no feasible move remains
+        buckets.remove(chosen)
+        locked[chosen] = True
+        src = part_of[chosen]
+        dst = 1 - src
+        counts_dst = counts[dst]
+        incident = module_nets[chosen]
+
+        # Gain updates, phase A: inspect pre-move counts.
+        for e in incident:
+            if not active[e]:
+                continue
+            cd = counts_dst[e]
+            if cd == 0:
+                w = net_weights[e]
+                if boundary:
+                    for u in net_pins[e]:
+                        if not locked[u]:
+                            bump(u, w)
+                else:
+                    for u in net_pins[e]:
+                        if not locked[u]:
+                            g = gains[u] + w
+                            gains[u] = g
+                            update(u, g)
+            elif cd == 1:
+                w = net_weights[e]
+                if boundary:
+                    for u in net_pins[e]:
+                        if not locked[u] and part_of[u] == dst:
+                            bump(u, -w)
+                            break
+                else:
+                    for u in net_pins[e]:
+                        if not locked[u] and part_of[u] == dst:
+                            g = gains[u] - w
+                            gains[u] = g
+                            update(u, g)
+                            break
+
+        state.move(chosen, dst)
+        moves.append((chosen, src))
+        if locked_counts is not None:
+            bumped = locked_counts[dst]
+            for e in incident:
+                if active[e]:
+                    bumped[e] += 1
+
+        # Gain updates, phase B: inspect post-move counts.
+        counts_src = counts[src]
+        for e in incident:
+            if not active[e]:
+                continue
+            cs = counts_src[e]
+            if cs == 0:
+                w = net_weights[e]
+                if boundary:
+                    for u in net_pins[e]:
+                        if not locked[u]:
+                            bump(u, -w)
+                else:
+                    for u in net_pins[e]:
+                        if not locked[u]:
+                            g = gains[u] - w
+                            gains[u] = g
+                            update(u, g)
+            elif cs == 1:
+                w = net_weights[e]
+                if boundary:
+                    for u in net_pins[e]:
+                        if not locked[u] and part_of[u] == src:
+                            bump(u, w)
+                            break
+                else:
+                    for u in net_pins[e]:
+                        if not locked[u] and part_of[u] == src:
+                            g = gains[u] + w
+                            gains[u] = g
+                            update(u, g)
+                            break
+
+        if pending:
+            for u in pending:
+                gains[u] = _module_gain_csr(state, u)
+                buckets.insert(u, gains[u])
+            pending.clear()
+
+        cut_now = state.cut_weight
+        if cut_now < best_cut:
+            best_cut = cut_now
+            best_index = len(moves)
+            stall = 0
+        else:
+            stall += 1
+            if early_stall is not None and stall >= early_stall:
+                break
+
+    return moves, best_index
+
+
+def _move_loop_csr_ll(state: PartitionState, buckets: LinkedListBuckets,
+                      gains: List[int], locked: List[bool],
+                      config: FMConfig, areas, lower: float, upper: float
+                      ) -> Tuple[List[Tuple[int, int]], int]:
+    """Fully inlined pass loop: CSR views + raw LIFO linked-list buckets.
+
+    Replays exactly the operation sequence of the generic loop —
+    selection scan, unlink of the chosen module, phase-A bumps, the
+    move's count/span/objective bookkeeping, phase-B bumps — but with
+    every bucket relink and every state update written out over the
+    underlying arrays, so one module move costs only index arithmetic.
+    Several local transformations keep the arithmetic identical while
+    dropping per-visit work:
+
+    * net sweeps iterate the pre-filtered ``active_incidence`` (no
+      ``active[e]`` test per visit — the dispatch above guarantees the
+      state's active set is exactly
+      ``active_nets(config.max_net_size)``);
+    * bucket positions live in index space (``gain + max_gain``), so
+      the ``gains`` argument's per-bump mirror writes disappear;
+    * the loop is LIFO-only (the dispatch checks ``buckets._lifo``):
+      insertion is always at a bucket's head and headship is decided
+      by ``head[idx] == u`` instead of a ``prev`` sentinel, so the
+      ``tail`` array and the head elements' ``prev`` entries are never
+      maintained — chain walks only follow ``next`` pointers, which
+      are kept exact;
+    * the move's bookkeeping and its phase-B bumps share one net sweep
+      (net ``e``'s phase-B bumps read only net ``e``'s fresh source
+      count, so the bucket-operation order matches a separate sweep);
+    * a ``+w`` bump can only raise the max-gain cursor and a ``-w``
+      bump can only settle it, so each bump site keeps just its half
+      of the cursor maintenance.
+
+    The loop *consumes* ``buckets``: on exit only the state structures
+    (``part_of``/``counts``/``spans``/``part_area`` mutated in place,
+    ``cut_weight``/``soed_weight`` written back) and ``locked`` are
+    valid; the bucket object and the ``gains`` list are stale, and the
+    caller rebuilds both for every pass.
+    """
+    view = state.hg.csr
+    incident_of = view.active_incidence(config.max_net_size)
+    net_pins = view.net_pins
+    net_weights = view.weights_list
+    part_of = state.part_of
+    counts = state.counts
+    part_area = state.part_area
+    spans = state.spans
+    early_stall = config.early_exit_stall
+
+    head = buckets._head
+    nxt = buckets._next
+    prv = buckets._prev
+    max_g = buckets._max_gain
+    width = 2 * max_g + 1
+    # Bucket positions are tracked in index space (gain + max_g), so
+    # every bump saves the offset add.
+    idx_of = [g + max_g for g in buckets._gain]
+    top = buckets._top
+    size = buckets._size
+
+    cut_w = state.cut_weight
+    soed_w = state.soed_weight
+
+    moves: List[Tuple[int, int]] = []
+    append_move = moves.append
+    best_cut = cut_w
+    best_soed = soed_w
+    best_index = 0
+    stall = 0
+
+    while size:
+        # --- selection: best-bucket-first scan for a feasible move,
+        # settling the max-gain cursor over the empty prefix.
+        chosen = -1
+        idx = top
+        settling = True
+        while idx >= 0:
+            item = head[idx]
+            if item == _NIL:
+                if settling:
+                    top = idx - 1
+                idx -= 1
+                continue
+            if settling:
+                top = idx
+                settling = False
+            while item != _NIL:
+                src = part_of[item]
+                a = areas[item]
+                if (part_area[src] - a >= lower
+                        and part_area[1 - src] + a <= upper):
+                    chosen = item
+                    break
+                item = nxt[item]
+            if chosen >= 0:
+                break
+            idx -= 1
+        if chosen < 0:
+            break  # no feasible move remains
+
+        # --- unlink the chosen module and lock it.
+        cidx = idx_of[chosen]
+        i_n = nxt[chosen]
+        if head[cidx] == chosen:
+            head[cidx] = i_n
+        else:
+            i_p = prv[chosen]
+            nxt[i_p] = i_n
+            if i_n != _NIL:
+                prv[i_n] = i_p
+        size -= 1
+        if cidx == top and head[cidx] == _NIL:
+            while top >= 0 and head[top] == _NIL:
+                top -= 1
+        locked[chosen] = True
+
+        src = part_of[chosen]
+        dst = 1 - src
+        counts_src = counts[src]
+        counts_dst = counts[dst]
+        incident = incident_of[chosen]
+
+        # --- gain updates, phase A: inspect pre-move counts.
+        for e in incident:
+            cd = counts_dst[e]
+            if cd == 0:
+                w = net_weights[e]
+                for u in net_pins[e]:
+                    if not locked[u]:
+                        oidx = idx_of[u]
+                        nidx = oidx + w
+                        if nidx >= width:
+                            raise PartitionError(
+                                f"gain {nidx - max_g} outside bucket range")
+                        u_n = nxt[u]
+                        if head[oidx] == u:
+                            head[oidx] = u_n
+                        else:
+                            u_p = prv[u]
+                            nxt[u_p] = u_n
+                            if u_n != _NIL:
+                                prv[u_n] = u_p
+                        old = head[nidx]
+                        nxt[u] = old
+                        head[nidx] = u
+                        if old != _NIL:
+                            prv[old] = u
+                        idx_of[u] = nidx
+                        if nidx > top:
+                            top = nidx
+            elif cd == 1:
+                w = net_weights[e]
+                for u in net_pins[e]:
+                    if not locked[u] and part_of[u] == dst:
+                        oidx = idx_of[u]
+                        nidx = oidx - w
+                        if nidx < 0:
+                            raise PartitionError(
+                                f"gain {nidx - max_g} outside bucket range")
+                        u_n = nxt[u]
+                        if head[oidx] == u:
+                            head[oidx] = u_n
+                        else:
+                            u_p = prv[u]
+                            nxt[u_p] = u_n
+                            if u_n != _NIL:
+                                prv[u_n] = u_p
+                        old = head[nidx]
+                        nxt[u] = old
+                        head[nidx] = u
+                        if old != _NIL:
+                            prv[old] = u
+                        idx_of[u] = nidx
+                        if oidx == top and head[oidx] == _NIL:
+                            while top >= 0 and head[top] == _NIL:
+                                top -= 1
+                        break
+
+        # --- the move itself (PartitionState.move, inlined), fused
+        # with phase B: net ``e``'s phase-B bumps depend only on net
+        # ``e``'s fresh source count, so folding them into the
+        # bookkeeping sweep leaves the bucket-operation order exactly
+        # that of a separate post-move sweep.
+        area = areas[chosen]
+        part_of[chosen] = dst
+        part_area[src] -= area
+        part_area[dst] += area
+        for e in incident:
+            w = net_weights[e]
+            s = spans[e]
+            cs = counts_src[e] - 1
+            counts_src[e] = cs
+            if cs == 0:
+                s -= 1
+                soed_w -= w if s > 1 else (2 * w if s == 1 else 0)
+                if s == 1:
+                    cut_w -= w
+            c = counts_dst[e] + 1
+            counts_dst[e] = c
+            if c == 1:
+                s += 1
+                soed_w += w if s > 2 else (2 * w if s == 2 else 0)
+                if s == 2:
+                    cut_w += w
+            spans[e] = s
+            # phase B for this net, off the freshly written counts.
+            if cs == 0:
+                for u in net_pins[e]:
+                    if not locked[u]:
+                        oidx = idx_of[u]
+                        nidx = oidx - w
+                        if nidx < 0:
+                            raise PartitionError(
+                                f"gain {nidx - max_g} outside bucket range")
+                        u_n = nxt[u]
+                        if head[oidx] == u:
+                            head[oidx] = u_n
+                        else:
+                            u_p = prv[u]
+                            nxt[u_p] = u_n
+                            if u_n != _NIL:
+                                prv[u_n] = u_p
+                        old = head[nidx]
+                        nxt[u] = old
+                        head[nidx] = u
+                        if old != _NIL:
+                            prv[old] = u
+                        idx_of[u] = nidx
+                        if oidx == top and head[oidx] == _NIL:
+                            while top >= 0 and head[top] == _NIL:
+                                top -= 1
+            elif cs == 1:
+                for u in net_pins[e]:
+                    if not locked[u] and part_of[u] == src:
+                        oidx = idx_of[u]
+                        nidx = oidx + w
+                        if nidx >= width:
+                            raise PartitionError(
+                                f"gain {nidx - max_g} outside bucket range")
+                        u_n = nxt[u]
+                        if head[oidx] == u:
+                            head[oidx] = u_n
+                        else:
+                            u_p = prv[u]
+                            nxt[u_p] = u_n
+                            if u_n != _NIL:
+                                prv[u_n] = u_p
+                        old = head[nidx]
+                        nxt[u] = old
+                        head[nidx] = u
+                        if old != _NIL:
+                            prv[old] = u
+                        idx_of[u] = nidx
+                        if nidx > top:
+                            top = nidx
+                        break
+        append_move((chosen, src))
+
+        if cut_w < best_cut:
+            best_cut = cut_w
+            best_soed = soed_w
+            best_index = len(moves)
+            stall = 0
+        else:
+            stall += 1
+            if early_stall is not None and stall >= early_stall:
+                break
+
+    state.cut_weight = cut_w
+    state.soed_weight = soed_w
+    state._pass_best = (best_cut, best_soed)
+    return moves, best_index
+
+
+def _rollback_csr(state: PartitionState, moves: List[Tuple[int, int]],
+                  best_index: int, incident_of) -> None:
+    """Undo ``moves[best_index:]`` with the view locals bound once.
+
+    Identical arithmetic to calling ``state.move(v, original)`` per
+    undone move (every undone module really changes side, so the
+    same-part early-out never fires), without 10k+ method calls per
+    pass on large circuits.  ``incident_of`` is the active-filtered
+    incidence matching the state's active set.
+
+    When the pass loop has recorded the objective values at the best
+    prefix (``state._pass_best``, set by the inlined LIFO loop), the
+    per-net cut/SOED arithmetic is skipped entirely — counts and spans
+    are still restored net by net, but the objectives are simply reset
+    to the recorded pair, which is what the replay would reproduce.
+    """
+    tail_moves = moves[best_index:]
+    final = state._pass_best
+    if not tail_moves:
+        if final is not None:
+            state.cut_weight, state.soed_weight = final
+        return
+    view = state.hg.csr
+    net_weights = view.weights_list
+    areas = view.areas_list
+    part_of = state.part_of
+    counts = state.counts
+    part_area = state.part_area
+    spans = state.spans
+    if final is not None:
+        for v, original in reversed(tail_moves):
+            src = part_of[v]
+            area = areas[v]
+            part_of[v] = original
+            part_area[src] -= area
+            part_area[original] += area
+            counts_src = counts[src]
+            counts_dst = counts[original]
+            for e in incident_of[v]:
+                c = counts_src[e] - 1
+                counts_src[e] = c
+                if c == 0:
+                    spans[e] -= 1
+                c = counts_dst[e] + 1
+                counts_dst[e] = c
+                if c == 1:
+                    spans[e] += 1
+        state.cut_weight, state.soed_weight = final
+        return
+    cut_w = state.cut_weight
+    soed_w = state.soed_weight
+    for v, original in reversed(tail_moves):
+        src = part_of[v]
+        area = areas[v]
+        part_of[v] = original
+        part_area[src] -= area
+        part_area[original] += area
+        counts_src = counts[src]
+        counts_dst = counts[original]
+        for e in incident_of[v]:
+            w = net_weights[e]
+            s = spans[e]
+            c = counts_src[e] - 1
+            counts_src[e] = c
+            if c == 0:
+                s -= 1
+                soed_w -= w if s > 1 else (2 * w if s == 1 else 0)
+                if s == 1:
+                    cut_w -= w
+            c = counts_dst[e] + 1
+            counts_dst[e] = c
+            if c == 1:
+                s += 1
+                soed_w += w if s > 2 else (2 * w if s == 2 else 0)
+                if s == 2:
+                    cut_w += w
+            spans[e] = s
+    state.cut_weight = cut_w
+    state.soed_weight = soed_w
+
+
+def _move_loop_reference(state: PartitionState, buckets, gains: List[int],
+                         locked: List[bool], locked_counts,
+                         config: FMConfig, areas, lower: float, upper: float
+                         ) -> Tuple[List[Tuple[int, int]], int]:
+    """The original accessor-walking pass loop, preserved verbatim."""
+    hg = state.hg
+    part_of = state.part_of
+    counts = state.counts
+    active = state.active
+
+    moves: List[Tuple[int, int]] = []
+    best_cut = state.cut_weight
+    best_index = 0
+    stall = 0
+
+    pending: set = set()
+    if config.boundary:
+        def bump(u, delta):
+            if buckets.contains(u):
+                gains[u] += delta
+                buckets.update(u, gains[u])
+            else:
+                # Newly on the boundary.  Its full gain is computed
+                # once, from the post-move counts, after both update
+                # phases finish — applying per-net deltas here would
+                # double-count nets the fresh computation already
+                # sees.
+                pending.add(u)
+    else:
+        def bump(u, delta):
+            gains[u] += delta
+            buckets.update(u, gains[u])
+
+    while len(buckets):
+        chosen = -1
+        if locked_counts is None:
+            for v in buckets.iter_desc():
+                src = part_of[v]
+                a = areas[v]
+                if (state.part_area[src] - a >= lower
+                        and state.part_area[1 - src] + a <= upper):
+                    chosen = v
+                    break
+        else:
+            # Lookahead: among the feasible members of the best
+            # bucket (all tied on level-1 gain), pick the largest
+            # level-2..r gain vector; first-seen (LIFO) wins ties.
+            best_vec = None
+            chosen_gain = 0
+            for v in buckets.iter_desc():
+                if chosen >= 0 and gains[v] != chosen_gain:
+                    break
+                src = part_of[v]
+                a = areas[v]
+                if not (state.part_area[src] - a >= lower
+                        and state.part_area[1 - src] + a <= upper):
+                    continue
+                vec = _lookahead_vector(state, locked_counts, v,
+                                        config.lookahead)
+                if chosen < 0 or vec > best_vec:
+                    chosen = v
+                    best_vec = vec
+                    chosen_gain = gains[v]
+        if chosen < 0:
+            break  # no feasible move remains
+        buckets.remove(chosen)
+        locked[chosen] = True
+        src = part_of[chosen]
+        dst = 1 - src
+
+        # Gain updates, phase A: inspect pre-move counts.
+        for e in hg.nets(chosen):
+            if not active[e]:
+                continue
+            w = hg.net_weight(e)
+            cd = counts[dst][e]
+            if cd == 0:
+                for u in hg.pins(e):
+                    if not locked[u]:
+                        bump(u, w)
+            elif cd == 1:
+                for u in hg.pins(e):
+                    if not locked[u] and part_of[u] == dst:
+                        bump(u, -w)
+                        break
+
+        state.move(chosen, dst)
+        moves.append((chosen, src))
+        if locked_counts is not None:
+            bumped = locked_counts[dst]
+            for e in hg.nets(chosen):
+                if active[e]:
+                    bumped[e] += 1
+
+        # Gain updates, phase B: inspect post-move counts.
+        for e in hg.nets(chosen):
+            if not active[e]:
+                continue
+            w = hg.net_weight(e)
+            cs = counts[src][e]
+            if cs == 0:
+                for u in hg.pins(e):
+                    if not locked[u]:
+                        bump(u, -w)
+            elif cs == 1:
+                for u in hg.pins(e):
+                    if not locked[u] and part_of[u] == src:
+                        bump(u, w)
+                        break
+
+        if pending:
+            for u in pending:
+                gains[u] = _module_gain_reference(state, u)
+                buckets.insert(u, gains[u])
+            pending.clear()
+
+        if state.cut_weight < best_cut:
+            best_cut = state.cut_weight
+            best_index = len(moves)
+            stall = 0
+        else:
+            stall += 1
+            if (config.early_exit_stall is not None
+                    and stall >= config.early_exit_stall):
+                break
+
+    return moves, best_index
+
+
 def fm_bipartition(hg: Hypergraph,
                    initial: Optional[Partition] = None,
                    config: Optional[FMConfig] = None,
@@ -168,9 +939,13 @@ def fm_bipartition(hg: Hypergraph,
         initial = rebalance_random(hg, initial, balance, rng=rng,
                                    movable=movable)
 
+    use_csr = csr_enabled()
     active_list = _active_nets(hg, config.max_net_size)
     state = PartitionState(hg, initial, active_nets=active_list)
-    max_gain = _max_weighted_degree(hg, state.active)
+    if use_csr:
+        max_gain = hg.csr.max_weighted_degree(config.max_net_size)
+    else:
+        max_gain = _max_weighted_degree(hg, state.active)
     bucket_range = 2 * max_gain if config.clip else max_gain
 
     initial_cut = cut(hg, initial)
@@ -180,11 +955,11 @@ def fm_bipartition(hg: Hypergraph,
     pass_cuts: List[int] = []
     max_passes = config.max_passes or 1000
 
-    areas = hg.areas()
+    areas = hg.csr.areas_list if use_csr else hg.areas()
     part_of = state.part_of
-    counts = state.counts
     active = state.active
     lower, upper = balance.lower, balance.upper
+    move_loop = _move_loop_csr if use_csr else _move_loop_reference
 
     def is_movable(v: int) -> bool:
         return fixed is None or not fixed[v]
@@ -200,12 +975,24 @@ def fm_bipartition(hg: Hypergraph,
             # LIFO insertion (at head) ascending order leaves the best
             # gain at the head; with FIFO (at tail) descending does.
             gains = _initial_gains(state)
-            order = sorted((v for v in hg.modules() if is_movable(v)),
-                           key=lambda v: gains[v])
-            if config.bucket_policy == "fifo":
-                order.reverse()
-            for v in order:
-                buckets.insert(v, 0)
+            if use_csr:
+                candidates = range(hg.num_modules) if fixed is None \
+                    else [v for v in range(hg.num_modules) if not fixed[v]]
+                order = sorted(candidates, key=gains.__getitem__)
+                if config.bucket_policy == "fifo":
+                    order.reverse()
+                if type(buckets) is LinkedListBuckets:
+                    buckets.fill_uniform(order, 0)
+                else:
+                    for v in order:
+                        buckets.insert(v, 0)
+            else:
+                order = sorted((v for v in hg.modules() if is_movable(v)),
+                               key=lambda v: gains[v])
+                if config.bucket_policy == "fifo":
+                    order.reverse()
+                for v in order:
+                    buckets.insert(v, 0)
             gains = [0] * hg.num_modules
         elif config.boundary:
             # Boundary refinement (Section V / Chaco [22]): only
@@ -219,9 +1006,14 @@ def fm_bipartition(hg: Hypergraph,
                     buckets.insert(v, gains[v])
         else:
             gains = _initial_gains(state)
-            for v in hg.modules():
-                if is_movable(v):
-                    buckets.insert(v, gains[v])
+            if use_csr and type(buckets) is LinkedListBuckets:
+                candidates = range(hg.num_modules) if fixed is None \
+                    else [v for v in range(hg.num_modules) if not fixed[v]]
+                buckets.fill(candidates, gains)
+            else:
+                for v in hg.modules():
+                    if is_movable(v):
+                        buckets.insert(v, gains[v])
 
         locked = [bool(f) for f in fixed] if fixed is not None \
             else [False] * hg.num_modules
@@ -236,127 +1028,19 @@ def fm_bipartition(hg: Hypergraph,
                     for e in hg.nets(v):
                         if active[e]:
                             locked_counts[side][e] += 1
-        moves: List[Tuple[int, int]] = []  # (module, original part)
-        pass_start_cut = state.cut_weight
-        best_cut = pass_start_cut
-        best_index = 0  # number of moves forming the best prefix
-        stall = 0
 
-        pending: set = set()
-        if config.boundary:
-            def bump(u, delta):
-                if buckets.contains(u):
-                    gains[u] += delta
-                    buckets.update(u, gains[u])
-                else:
-                    # Newly on the boundary.  Its full gain is computed
-                    # once, from the post-move counts, after both update
-                    # phases finish — applying per-net deltas here would
-                    # double-count nets the fresh computation already
-                    # sees.
-                    pending.add(u)
-        else:
-            def bump(u, delta):
-                gains[u] += delta
-                buckets.update(u, gains[u])
-
-        while len(buckets):
-            chosen = -1
-            if locked_counts is None:
-                for v in buckets.iter_desc():
-                    src = part_of[v]
-                    a = areas[v]
-                    if (state.part_area[src] - a >= lower
-                            and state.part_area[1 - src] + a <= upper):
-                        chosen = v
-                        break
-            else:
-                # Lookahead: among the feasible members of the best
-                # bucket (all tied on level-1 gain), pick the largest
-                # level-2..r gain vector; first-seen (LIFO) wins ties.
-                best_vec = None
-                chosen_gain = 0
-                for v in buckets.iter_desc():
-                    if chosen >= 0 and gains[v] != chosen_gain:
-                        break
-                    src = part_of[v]
-                    a = areas[v]
-                    if not (state.part_area[src] - a >= lower
-                            and state.part_area[1 - src] + a <= upper):
-                        continue
-                    vec = _lookahead_vector(state, locked_counts, v,
-                                            config.lookahead)
-                    if chosen < 0 or vec > best_vec:
-                        chosen = v
-                        best_vec = vec
-                        chosen_gain = gains[v]
-            if chosen < 0:
-                break  # no feasible move remains
-            buckets.remove(chosen)
-            locked[chosen] = True
-            src = part_of[chosen]
-            dst = 1 - src
-
-            # Gain updates, phase A: inspect pre-move counts.
-            for e in hg.nets(chosen):
-                if not active[e]:
-                    continue
-                w = hg.net_weight(e)
-                cd = counts[dst][e]
-                if cd == 0:
-                    for u in hg.pins(e):
-                        if not locked[u]:
-                            bump(u, w)
-                elif cd == 1:
-                    for u in hg.pins(e):
-                        if not locked[u] and part_of[u] == dst:
-                            bump(u, -w)
-                            break
-
-            state.move(chosen, dst)
-            moves.append((chosen, src))
-            total_moves += 1
-            if locked_counts is not None:
-                bumped = locked_counts[dst]
-                for e in hg.nets(chosen):
-                    if active[e]:
-                        bumped[e] += 1
-
-            # Gain updates, phase B: inspect post-move counts.
-            for e in hg.nets(chosen):
-                if not active[e]:
-                    continue
-                w = hg.net_weight(e)
-                cs = counts[src][e]
-                if cs == 0:
-                    for u in hg.pins(e):
-                        if not locked[u]:
-                            bump(u, -w)
-                elif cs == 1:
-                    for u in hg.pins(e):
-                        if not locked[u] and part_of[u] == src:
-                            bump(u, w)
-                            break
-
-            if pending:
-                for u in pending:
-                    gains[u] = _module_gain(state, u)
-                    buckets.insert(u, gains[u])
-                pending.clear()
-
-            if state.cut_weight < best_cut:
-                best_cut = state.cut_weight
-                best_index = len(moves)
-                stall = 0
-            else:
-                stall += 1
-                if (config.early_exit_stall is not None
-                        and stall >= config.early_exit_stall):
-                    break
+        moves, best_index = move_loop(state, buckets, gains, locked,
+                                      locked_counts, config, areas,
+                                      lower, upper)
+        total_moves += len(moves)
 
         # Roll back to the best prefix of the pass.
-        for v, original in reversed(moves[best_index:]):
-            state.move(v, original)
+        if use_csr:
+            _rollback_csr(state, moves, best_index,
+                          hg.csr.active_incidence(config.max_net_size))
+        else:
+            for v, original in reversed(moves[best_index:]):
+                state.move(v, original)
         pass_cuts.append(state.cut_weight)
 
         if state.cut_weight >= best_overall:

@@ -23,6 +23,7 @@ from typing import List, Optional, Tuple
 
 from ..errors import ConfigError, PartitionError
 from ..hypergraph import Hypergraph
+from ..kernels import csr_enabled
 from ..partition import (BalanceConstraint, Partition, PartitionState, cut,
                          random_partition, soed)
 from ..partition.rebalance import rebalance_random
@@ -75,12 +76,16 @@ def _move_gain(state: PartitionState, module: int, dst: int,
     return gain
 
 
-def _gain_bound(hg: Hypergraph, active: List[bool], objective: str) -> int:
-    best = 0
-    for v in hg.modules():
-        d = sum(hg.net_weight(e) for e in hg.nets(v) if active[e])
-        if d > best:
-            best = d
+def _gain_bound(hg: Hypergraph, max_net_size: int, objective: str) -> int:
+    if csr_enabled():
+        best = hg.csr.max_weighted_degree(max_net_size)
+    else:
+        active = [hg.net_size(e) <= max_net_size for e in hg.all_nets()]
+        best = 0
+        for v in hg.modules():
+            d = sum(hg.net_weight(e) for e in hg.nets(v) if active[e])
+            if d > best:
+                best = d
     return 2 * best if objective == "soed" else best
 
 
@@ -124,7 +129,7 @@ def kway_partition(hg: Hypergraph,
 
     active_list = _active_nets(hg, config.max_net_size)
     state = PartitionState(hg, initial, active_nets=active_list)
-    max_gain = _gain_bound(hg, state.active, objective)
+    max_gain = _gain_bound(hg, config.max_net_size, objective)
     bucket_range = 2 * max_gain if config.clip else max_gain
 
     def objective_value() -> int:
@@ -137,7 +142,7 @@ def kway_partition(hg: Hypergraph,
     pass_values: List[int] = []
     max_passes = config.max_passes or 1000
 
-    areas = hg.areas()
+    areas = hg.csr.areas_list if csr_enabled() else hg.areas()
     part_of = state.part_of
     lower, upper = balance.lower, balance.upper
     num_items = hg.num_modules * k

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import HypergraphError
+from .csr import CSRIncidence
 
 __all__ = ["Hypergraph"]
 
@@ -47,7 +48,8 @@ class Hypergraph:
     """
 
     __slots__ = ("name", "_net_pins", "_module_nets", "_areas",
-                 "_net_weights", "_num_pins", "_total_area", "_max_area")
+                 "_net_weights", "_num_pins", "_total_area", "_max_area",
+                 "_csr")
 
     def __init__(self,
                  nets: Iterable[Iterable[int]],
@@ -119,6 +121,35 @@ class Hypergraph:
         self._num_pins = sum(len(p) for p in net_pins)
         self._total_area = sum(area_list)
         self._max_area = max(area_list) if area_list else 0.0
+        self._csr: Optional[CSRIncidence] = None
+
+    @classmethod
+    def _trusted(cls, net_pins: List[Tuple[int, ...]],
+                 areas: List[float], net_weights: List[int],
+                 name: str = "") -> "Hypergraph":
+        """Construct from pre-validated internals, skipping checks.
+
+        Internal fast path for :func:`repro.clustering.induce`, whose
+        output satisfies every constructor invariant by construction
+        (deduplicated sorted pin tuples, >= 2 pins per net, positive
+        areas and weights).  Revalidating each coarse netlist of a
+        multilevel hierarchy would otherwise show up in profiles.
+        """
+        self = cls.__new__(cls)
+        module_nets: List[List[int]] = [[] for _ in range(len(areas))]
+        for e, pins in enumerate(net_pins):
+            for v in pins:
+                module_nets[v].append(e)
+        self.name = name
+        self._net_pins = net_pins
+        self._module_nets = [tuple(ns) for ns in module_nets]
+        self._areas = areas
+        self._net_weights = net_weights
+        self._num_pins = sum(len(p) for p in net_pins)
+        self._total_area = sum(areas)
+        self._max_area = max(areas) if areas else 0.0
+        self._csr = None
+        return self
 
     # ------------------------------------------------------------------
     # Size characteristics (Table I columns).
@@ -153,6 +184,22 @@ class Hypergraph:
     def total_net_weight(self) -> int:
         """Sum of net weights (equals ``num_nets`` for unweighted input)."""
         return sum(self._net_weights)
+
+    @property
+    def csr(self) -> CSRIncidence:
+        """The flat-array (CSR) incidence view of this netlist.
+
+        Built on first access and cached — the hypergraph is immutable,
+        so the view stays valid for its whole lifetime.  All hot
+        kernels (state bookkeeping, FM gain maintenance, matching)
+        consume this layer; the tuple accessors below remain the
+        stable public API.
+        """
+        view = self._csr
+        if view is None:
+            view = CSRIncidence(self)
+            self._csr = view
+        return view
 
     # ------------------------------------------------------------------
     # Incidence accessors.

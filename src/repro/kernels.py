@@ -1,0 +1,67 @@
+"""Kernel-mode registry for the coarsen–refine hot path.
+
+The partitioning engines have two interchangeable implementations of
+every hot kernel:
+
+* ``"csr"`` (default) — kernels consume the flat-array incidence layer
+  of :class:`repro.hypergraph.csr.CSRIncidence` (``Hypergraph.csr``):
+  per-kernel local bindings of the materialised pin/net/weight/area
+  vectors, no per-pin method dispatch.
+* ``"reference"`` — the original tuple-of-tuples kernels, preserved
+  verbatim.  They exist as a correctness oracle (every result must be
+  bit-identical between the two modes: same cuts, same RNG draws) and
+  as the "before" timing baseline for ``benchmarks/bench_kernels.py``.
+
+The mode is a process-global switch sampled at kernel-entry time (per
+FM call / per :class:`~repro.partition.PartitionState` construction,
+never per pin), so switching costs nothing on the hot path.  Worker
+processes of the parallel runtime inherit the mode through ``fork``.
+
+Determinism contract: the two modes execute the *same arithmetic in
+the same order* and draw from ``random.Random`` streams at the same
+points, so golden-cut tests pinned under one mode hold under both.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .errors import ConfigError
+
+__all__ = ["KERNEL_MODES", "kernel_mode", "set_kernel_mode",
+           "use_kernels", "csr_enabled"]
+
+KERNEL_MODES = ("csr", "reference")
+
+_mode = "csr"
+
+
+def kernel_mode() -> str:
+    """The currently selected kernel implementation family."""
+    return _mode
+
+
+def csr_enabled() -> bool:
+    """True when the flat CSR kernels are selected (the default)."""
+    return _mode == "csr"
+
+
+def set_kernel_mode(mode: str) -> None:
+    """Select ``"csr"`` or ``"reference"`` kernels process-wide."""
+    global _mode
+    if mode not in KERNEL_MODES:
+        raise ConfigError(
+            f"unknown kernel mode {mode!r}; expected one of {KERNEL_MODES}")
+    _mode = mode
+
+
+@contextmanager
+def use_kernels(mode: str) -> Iterator[None]:
+    """Temporarily switch kernel modes (tests and benchmarks)."""
+    previous = _mode
+    set_kernel_mode(mode)
+    try:
+        yield
+    finally:
+        set_kernel_mode(previous)

@@ -13,24 +13,48 @@ LSMC descents) share.  A state may be restricted to a subset of
 *active* nets — the FM engines exclude nets larger than a threshold
 (200 in the paper) and measure final quality on the full netlist via
 :mod:`repro.partition.objectives`.
+
+Two kernel families implement the O(pins) construction sweep and the
+O(pins(v)) move (see :mod:`repro.kernels`): the default binds the flat
+CSR incidence layer (``hg.csr``) locally and performs only index
+operations per pin; the reference family preserves the original
+per-call accessor walk (``hg.pins(e)`` / ``hg.net_weight(e)``) as the
+correctness oracle and benchmark baseline.  Both execute identical
+arithmetic in identical order, so every cached quantity — and every
+downstream RNG draw — is bit-identical between them.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import PartitionError
 from ..hypergraph import Hypergraph
+from ..kernels import csr_enabled
 from .solution import Partition
 
 __all__ = ["PartitionState"]
+
+
+def _as_sorted_tuple(active_nets: Sequence[int]) -> Tuple[int, ...]:
+    """``active_nets`` as a strictly-increasing tuple.
+
+    The engines always pass an already-sorted, duplicate-free net list
+    (a filtered ``range``); detecting that case keeps construction
+    O(n) instead of re-sorting a sorted input every FM call.
+    """
+    nets = tuple(active_nets)
+    if all(nets[i] < nets[i + 1] for i in range(len(nets) - 1)):
+        return nets
+    return tuple(sorted(set(nets)))
 
 
 class PartitionState:
     """Mutable k-way partition with O(pins(v)) single-module moves."""
 
     __slots__ = ("hg", "k", "part_of", "part_area", "counts", "spans",
-                 "cut_weight", "soed_weight", "active", "_active_nets")
+                 "cut_weight", "soed_weight", "active", "_active_nets",
+                 "_view", "_pass_best")
 
     def __init__(self, hg: Hypergraph, partition: Partition,
                  active_nets: Optional[Sequence[int]] = None):
@@ -42,24 +66,91 @@ class PartitionState:
         self.k = partition.k
         self.part_of: List[int] = list(partition.assignment)
 
+        # Kernel family is sampled once per state; `move` dispatches on
+        # the cached view so the choice costs nothing per pin.
+        self._view = hg.csr if csr_enabled() else None
+        # Objective values at the best prefix of the latest inlined FM
+        # pass (set by the engine's pass loop, consumed by rollback).
+        self._pass_best: Optional[Tuple[int, int]] = None
+
         self.part_area = [0.0] * self.k
+        areas = self._view.areas_list if self._view is not None \
+            else hg._areas
         for v, p in enumerate(self.part_of):
-            self.part_area[p] += hg.area(v)
+            self.part_area[p] += areas[v]
 
         if active_nets is None:
             self.active = [True] * hg.num_nets
-            self._active_nets = list(hg.all_nets())
+            if self._view is not None:
+                self._active_nets = self._view.all_nets()
+            else:
+                self._active_nets = tuple(hg.all_nets())
         else:
             self.active = [False] * hg.num_nets
             for e in active_nets:
                 self.active[e] = True
-            self._active_nets = sorted(set(active_nets))
+            self._active_nets = _as_sorted_tuple(active_nets)
 
         self.counts: List[List[int]] = [[0] * hg.num_nets
                                         for _ in range(self.k)]
         self.spans: List[int] = [0] * hg.num_nets
         self.cut_weight = 0
         self.soed_weight = 0
+        if self._view is not None:
+            self._init_counts_csr()
+        else:
+            self._init_counts_reference()
+
+    def _init_counts_csr(self) -> None:
+        """Construction sweep over the flat incidence layer."""
+        view = self._view
+        net_pins = view.net_pins
+        net_weights = view.weights_list
+        part_of = self.part_of
+        counts = self.counts
+        spans = self.spans
+        cut_w = 0
+        soed_w = 0
+        if len(counts) == 2:
+            # Bipartition specialisation: tally both sides in plain
+            # locals and store each net's counts once, instead of a
+            # row lookup + read-modify-write per pin.
+            c0, c1 = counts
+            for e in self._active_nets:
+                a = 0
+                b = 0
+                for v in net_pins[e]:
+                    if part_of[v]:
+                        b += 1
+                    else:
+                        a += 1
+                c0[e] = a
+                c1[e] = b
+                present = (a > 0) + (b > 0)
+                spans[e] = present
+                if present > 1:
+                    w = net_weights[e]
+                    cut_w += w
+                    soed_w += w * present
+        else:
+            for e in self._active_nets:
+                present = 0
+                for v in net_pins[e]:
+                    row = counts[part_of[v]]
+                    if row[e] == 0:
+                        present += 1
+                    row[e] += 1
+                spans[e] = present
+                if present > 1:
+                    w = net_weights[e]
+                    cut_w += w
+                    soed_w += w * present
+        self.cut_weight = cut_w
+        self.soed_weight = soed_w
+
+    def _init_counts_reference(self) -> None:
+        """The original accessor-walking construction sweep."""
+        hg = self.hg
         for e in self._active_nets:
             present = 0
             for v in hg.pins(e):
@@ -75,9 +166,13 @@ class PartitionState:
 
     # ------------------------------------------------------------------
 
-    def active_nets(self) -> List[int]:
-        """Nets participating in incremental objective tracking."""
-        return list(self._active_nets)
+    def active_nets(self) -> Tuple[int, ...]:
+        """Nets participating in incremental objective tracking.
+
+        Returns the state's own cached tuple (callers must not rely on
+        getting a fresh mutable copy; the tuple is shared).
+        """
+        return self._active_nets
 
     def pins_in(self, part: int, net: int) -> int:
         """Number of ``net``'s pins currently in ``part``."""
@@ -88,6 +183,44 @@ class PartitionState:
         src = self.part_of[module]
         if src == dst:
             return
+        view = self._view
+        if view is not None:
+            area = view.areas_list[module]
+            self.part_of[module] = dst
+            self.part_area[src] -= area
+            self.part_area[dst] += area
+
+            counts_src = self.counts[src]
+            counts_dst = self.counts[dst]
+            active = self.active
+            spans = self.spans
+            net_weights = view.weights_list
+            cut_w = self.cut_weight
+            soed_w = self.soed_weight
+            for e in view.module_nets[module]:
+                if not active[e]:
+                    continue
+                w = net_weights[e]
+                s = spans[e]
+                c = counts_src[e] - 1
+                counts_src[e] = c
+                if c == 0:
+                    s -= 1
+                    soed_w -= w if s > 1 else (2 * w if s == 1 else 0)
+                    if s == 1:
+                        cut_w -= w
+                c = counts_dst[e] + 1
+                counts_dst[e] = c
+                if c == 1:
+                    s += 1
+                    soed_w += w if s > 2 else (2 * w if s == 2 else 0)
+                    if s == 2:
+                        cut_w += w
+                spans[e] = s
+            self.cut_weight = cut_w
+            self.soed_weight = soed_w
+            return
+
         hg = self.hg
         area = hg.area(module)
         self.part_of[module] = dst

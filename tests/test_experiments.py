@@ -34,7 +34,11 @@ class TestTableGenerators:
         for row in result.rows:
             assert row[1] <= row[3]  # min FM <= avg FM
             assert row[2] <= row[4]  # min CLIP <= avg CLIP
-            assert row[7] > 0 and row[8] > 0  # CPU columns
+        # CPU was measured (unrounded cells: the rounded table columns
+        # can legitimately show 0.00 now that the kernels are fast).
+        for cells in result.cells.values():
+            assert cells["FM"].cpu_seconds > 0
+            assert cells["CLIP"].cpu_seconds > 0
 
     def test_table4(self):
         result = table4_ml_vs_clip(**TINY)
@@ -62,7 +66,10 @@ class TestTableGenerators:
         result = table8_cpu(circuits=("balu",), scale=0.12, runs=2,
                             lsmc_descents=2, seed=0)
         assert result.rows[0][0] == "balu"
-        assert all(v > 0 for v in result.rows[0][1:6])
+        # Unrounded cells: the rounded table columns can show 0.00 for
+        # the fastest algorithms at this tiny scale.
+        assert all(cell.cpu_seconds > 0
+                   for cell in result.cells["balu"].values())
 
     def test_table9(self):
         result = table9_quadrisection(circuits=("balu",), scale=0.25,

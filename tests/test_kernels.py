@@ -1,0 +1,226 @@
+"""The CSR kernel layer: flat-view equivalence, golden cuts, perf floor.
+
+Three contracts from DESIGN.md's kernel-layer section:
+
+1. **Reconstruction** — the flat arrays and kernel twins of
+   ``Hypergraph.csr`` describe exactly the same incidence as the tuple
+   accessors ``pins(e)`` / ``nets(v)``.
+2. **Bit-identity** — the ``"csr"`` and ``"reference"`` kernel modes
+   execute the same arithmetic in the same order, so FM, CLIP, and
+   multilevel runs return *identical* partitions (not just equal cuts)
+   for every seed.
+3. **No regression** — the CSR kernels must never be meaningfully
+   slower than the reference kernels they replace (smoke-level bound;
+   the real speedup numbers live in ``benchmarks/bench_kernels.py``).
+"""
+
+import time
+
+import pytest
+
+from repro import MLConfig, ml_bipartition
+from repro.fm import FMConfig, clip_bipartition, fm_bipartition
+from repro.hypergraph import (hierarchical_circuit, load_circuit,
+                              random_hypergraph)
+from repro.kernels import use_kernels
+
+
+def _sample_circuits():
+    """Small and mid-size netlists spanning the generator family."""
+    return [
+        random_hypergraph(60, 90, seed=11, name="rand60"),
+        random_hypergraph(200, 260, max_net_size=9, seed=5, name="rand200"),
+        hierarchical_circuit(300, 360, seed=2024, name="hier300"),
+        load_circuit("struct", scale=0.2, seed=3),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# 1. Reconstruction: flat views == tuple accessors.
+# ---------------------------------------------------------------------------
+
+
+class TestFlatViews:
+    def test_pins_reconstruction(self):
+        for hg in _sample_circuits():
+            view = hg.csr
+            xpins, pins_flat = view.xpins, view.pins_flat
+            for e in hg.all_nets():
+                expected = hg.pins(e)
+                assert view.pins(e) == expected
+                assert tuple(pins_flat[xpins[e]:xpins[e + 1]]) == expected
+
+    def test_nets_reconstruction(self):
+        for hg in _sample_circuits():
+            view = hg.csr
+            xnets, nets_flat = view.xnets, view.nets_flat
+            for v in hg.modules():
+                expected = hg.nets(v)
+                assert view.nets(v) == expected
+                assert tuple(nets_flat[xnets[v]:xnets[v + 1]]) == expected
+
+    def test_scalar_arrays_match_accessors(self):
+        for hg in _sample_circuits():
+            view = hg.csr
+            assert list(view.net_weights) == hg.net_weights()
+            assert list(view.net_sizes) == [hg.net_size(e)
+                                            for e in hg.all_nets()]
+            assert list(view.areas) == hg.areas()
+
+    def test_kernel_twins_match_arrays(self):
+        for hg in _sample_circuits():
+            view = hg.csr
+            assert view.weights_list == list(view.net_weights)
+            assert view.sizes_list == list(view.net_sizes)
+            assert view.areas_list == list(view.areas)
+
+    def test_tuple_views_are_shared(self):
+        # The kernel twins reuse the hypergraph's own tuples — no copy.
+        hg = _sample_circuits()[0]
+        view = hg.csr
+        for e in hg.all_nets():
+            assert view.net_pins[e] is hg.pins(e)
+        for v in hg.modules():
+            assert view.module_nets[v] is hg.nets(v)
+
+    def test_counters(self):
+        for hg in _sample_circuits():
+            view = hg.csr
+            assert view.num_modules == hg.num_modules
+            assert view.num_nets == hg.num_nets
+            assert view.num_pins == hg.num_pins
+            assert len(view.pins_flat) == hg.num_pins
+            assert len(view.nets_flat) == hg.num_pins
+
+    def test_view_is_cached(self):
+        hg = hierarchical_circuit(50, 60, seed=1)
+        assert hg.csr is hg.csr
+
+    def test_active_nets_threshold(self):
+        hg = random_hypergraph(80, 120, max_net_size=7, seed=9)
+        view = hg.csr
+        for limit in (2, 3, 200, None):
+            active = view.active_nets(limit)
+            expected = tuple(
+                e for e in hg.all_nets()
+                if limit is None or hg.net_size(e) <= limit)
+            assert active == expected
+            # Cached: same tuple object on every call.
+            assert view.active_nets(limit) is active
+
+    def test_max_weighted_degree(self):
+        for hg in _sample_circuits():
+            view = hg.csr
+            for limit in (200, None):
+                expected = max(
+                    sum(hg.net_weight(e) for e in hg.nets(v)
+                        if limit is None or hg.net_size(e) <= limit)
+                    for v in hg.modules())
+                assert view.max_weighted_degree(limit) == expected
+
+    def test_active_incidence_filters(self):
+        hg = random_hypergraph(80, 120, max_net_size=7, seed=9)
+        view = hg.csr
+        for limit in (3, 200, None):
+            incidence = view.active_incidence(limit)
+            for v in hg.modules():
+                expected = tuple(
+                    e for e in hg.nets(v)
+                    if limit is None or hg.net_size(e) <= limit)
+                assert tuple(incidence[v]) == expected
+        # All-active thresholds reuse the shared incidence outright.
+        assert view.active_incidence(None) is view.module_nets
+
+
+# ---------------------------------------------------------------------------
+# 2. Bit-identity: both kernel modes return identical partitions.
+# ---------------------------------------------------------------------------
+
+
+def _both_modes(run):
+    with use_kernels("reference"):
+        ref = run()
+    with use_kernels("csr"):
+        csr = run()
+    return ref, csr
+
+
+class TestGoldenCuts:
+    SEEDS = (0, 1, 2, 7, 41)
+
+    @pytest.fixture(scope="class")
+    def medium(self):
+        return hierarchical_circuit(300, 360, seed=2024, name="hier300")
+
+    def test_fm_identical_across_modes(self, medium):
+        for seed in self.SEEDS:
+            ref, csr = _both_modes(
+                lambda: fm_bipartition(medium, seed=seed))
+            assert csr.cut == ref.cut
+            assert csr.partition.assignment == ref.partition.assignment
+            assert csr.pass_cuts == ref.pass_cuts
+
+    def test_clip_identical_across_modes(self, medium):
+        for seed in self.SEEDS:
+            ref, csr = _both_modes(
+                lambda: clip_bipartition(medium, seed=seed))
+            assert csr.cut == ref.cut
+            assert csr.partition.assignment == ref.partition.assignment
+
+    def test_ml_identical_across_modes(self, medium):
+        config = MLConfig(engine="clip")
+        for seed in self.SEEDS[:3]:
+            ref, csr = _both_modes(
+                lambda: ml_bipartition(medium, config=config, seed=seed))
+            assert csr.cut == ref.cut
+            assert csr.partition.assignment == ref.partition.assignment
+
+    def test_fm_policies_identical_across_modes(self, medium):
+        # FIFO and random bucket policies run through the generic CSR
+        # loop rather than the inlined LIFO loop; they must agree with
+        # the reference kernels too.
+        for policy in ("fifo", "random"):
+            config = FMConfig(bucket_policy=policy)
+            ref, csr = _both_modes(
+                lambda: fm_bipartition(medium, config=config, seed=3))
+            assert csr.cut == ref.cut
+            assert csr.partition.assignment == ref.partition.assignment
+
+    def test_golden_cuts_pinned(self, medium):
+        # Absolute regression pins for the canonical 300-module circuit
+        # (same values both modes; guards accidental reorderings that
+        # stay self-consistent across modes).
+        with use_kernels("csr"):
+            assert fm_bipartition(medium, seed=2024).cut == 51
+            assert clip_bipartition(medium, seed=2024).cut == 22
+            assert ml_bipartition(medium, config=MLConfig(engine="clip"),
+                                  seed=2024).cut == 20
+
+
+# ---------------------------------------------------------------------------
+# 3. Perf floor: CSR kernels never meaningfully slower than reference.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.kernels
+def test_csr_not_slower_than_reference():
+    hg = load_circuit("struct", scale=0.3, seed=0)
+    config = MLConfig(engine="clip")
+
+    def best_of(mode, repeats=3):
+        with use_kernels(mode):
+            ml_bipartition(hg, config=config, seed=5)  # warm caches
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                result = ml_bipartition(hg, config=config, seed=5)
+                best = min(best, time.perf_counter() - start)
+        return best, result.cut
+
+    t_ref, cut_ref = best_of("reference")
+    t_csr, cut_csr = best_of("csr")
+    assert cut_csr == cut_ref
+    # Smoke-level bound with generous headroom for noisy CI machines;
+    # the measured ratio is a >=2x *speedup* (see BENCH_kernels.json).
+    assert t_csr <= 1.5 * t_ref, (
+        f"CSR kernels slower than reference: {t_csr:.3f}s vs {t_ref:.3f}s")

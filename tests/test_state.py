@@ -119,7 +119,14 @@ class TestActiveNets:
     def test_active_nets_listing(self, tiny_hg):
         p = Partition([0] * 6, k=2)
         state = PartitionState(tiny_hg, p, active_nets=[4, 2, 2])
-        assert state.active_nets() == [2, 4]
+        assert state.active_nets() == (2, 4)
+
+    def test_active_nets_cached_and_sorted_input_preserved(self, tiny_hg):
+        p = Partition([0] * 6, k=2)
+        state = PartitionState(tiny_hg, p, active_nets=(1, 3, 5))
+        # The cached tuple is returned as-is (no per-call copy).
+        assert state.active_nets() is state.active_nets()
+        assert state.active_nets() == (1, 3, 5)
 
 
 class TestVerifyDetectsCorruption:
