@@ -15,6 +15,8 @@ Examples::
     repro info s9234.hgr
     repro partition s9234.hgr --algorithm mlc -R 0.5 --runs 10
     repro partition s9234.hgr --runs 20 --jobs 4 --budget 30
+    repro partition s9234.hgr --runs 20 --verify \
+        --inject-faults rate=0.1,seed=7 --retries 2 --min-ok-fraction 0.5
     repro partition s9234.hgr -k 4 --algorithm mlf --output parts.txt
 """
 
@@ -32,6 +34,7 @@ from .core.ml import ml_bipartition
 from .core.quadrisection import ml_kway
 from .core.vcycle import ml_vcycle
 from .errors import ReproError
+from .faults import FaultPlan
 from .hypergraph import (Hypergraph, benchmark_names, compute_stats,
                          load_circuit, read_hmetis, read_json,
                          write_hmetis, write_json)
@@ -123,10 +126,18 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         lambda h, s: _single_run(args.algorithm, h, args.k, args.ratio,
                                  args.threshold, args.tolerance,
                                  args.descents, s, vcycles=args.vcycles))
+    faults = (FaultPlan.parse(args.inject_faults)
+              if args.inject_faults else None)
+    # --verify recomputes every returned cut from scratch and checks
+    # balance at the run's own tolerance; corrupt results are demoted
+    # to 'invalid' records and retried instead of reported.
+    verify = args.tolerance if args.verify else False
     portfolio = Portfolio(algorithm=algorithm, hg=hg, runs=args.runs,
                           seed=args.seed, budget_seconds=args.budget,
-                          retries=args.retries, keep_results=True)
+                          retries=args.retries, keep_results=True,
+                          faults=faults, verify=verify)
     outcome = execute(portfolio, jobs=args.jobs)
+    outcome.require_quorum(args.min_ok_fraction)
     if not outcome.ok_records:
         raise ReproError(
             f"all {outcome.runs} runs failed; first error: "
@@ -155,7 +166,11 @@ def _cmd_partition(args: argparse.Namespace) -> int:
           f"feasible: {constraint.is_feasible(areas)})")
     print(f"wall:       {outcome.wall_seconds:.2f}s")
     print(f"cpu:        {outcome.cpu_seconds:.2f}s")
-    assert cut(hg, partition) == best.cut
+    if cut(hg, partition) != best.cut:
+        raise ReproError(
+            f"best solution failed final recomputation (reported "
+            f"{best.cut}, recomputed {cut(hg, partition)}); "
+            "re-run with --verify to quarantine corrupt results")
 
     if args.output:
         write_assignment(partition, args.output)
@@ -264,6 +279,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-run wall-clock budget in seconds")
     p_part.add_argument("--retries", type=int, default=0,
                         help="re-execute a crashed run this many times")
+    p_part.add_argument("--verify", action="store_true",
+                        help="recompute every returned cut (and balance "
+                             "at --tolerance) from scratch; corrupt "
+                             "results are retried, never reported")
+    p_part.add_argument("--min-ok-fraction", type=float, default=None,
+                        metavar="FRAC",
+                        help="survival quorum: fail unless at least this "
+                             "fraction of runs succeeds (default: any)")
+    p_part.add_argument("--inject-faults", metavar="SPEC", default=None,
+                        help="arm a deterministic fault plan, e.g. "
+                             "'rate=0.1,seed=7,kinds=raise+corrupt_cut' "
+                             "(chaos-testing the runtime; see "
+                             "repro.faults.FaultPlan.parse)")
     p_part.add_argument("--output", default=None,
                         help="write the per-module part assignment here")
     p_part.set_defaults(fn=_cmd_partition)

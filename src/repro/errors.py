@@ -45,3 +45,14 @@ class ConfigError(ReproError):
 class HarnessError(ReproError):
     """Raised for invalid experiment-harness states (e.g. statistics
     requested over a portfolio whose runs all failed)."""
+
+
+class InjectedFault(ReproError):
+    """Raised by the fault-injection layer when a start is scheduled to
+    crash.  Deliberately a :class:`ReproError` subclass: injected
+    crashes must flow through exactly the code paths real ones do."""
+
+
+class CheckpointError(HarnessError):
+    """Raised when a sweep checkpoint cannot be resumed (corrupt file,
+    or a resume whose configuration contradicts the checkpoint's)."""

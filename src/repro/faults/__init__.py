@@ -1,0 +1,33 @@
+"""Deterministic fault injection for the portfolio runtime.
+
+The paper's evaluation is a long multi-start sweep; this package makes
+the runtime's fault model *testable* by injecting crashes, hangs,
+worker deaths, and silent result corruption on demand — with the same
+plan producing the same faults at any worker count.
+
+* :mod:`.plan`   — :class:`FaultPlan`: seed-driven
+  ``(start, attempt) -> fault kind`` schedule, plus the kind constants.
+* :mod:`.inject` — :class:`FaultInjector`: applies a plan to running
+  starts (raise / hang / kill worker / corrupt result).
+
+Arm a plan on a :class:`~repro.runtime.Portfolio` via its ``faults=``
+field, or from the CLI with ``--inject-faults``.
+"""
+
+from .inject import FaultInjector, WORKER_EXIT_CODE
+from .plan import (CORRUPTING_KINDS, FAULT_CORRUPT_ASSIGNMENT,
+                   FAULT_CORRUPT_CUT, FAULT_EXIT, FAULT_HANG, FAULT_KINDS,
+                   FAULT_RAISE, FaultPlan)
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FAULT_RAISE",
+    "FAULT_HANG",
+    "FAULT_EXIT",
+    "FAULT_CORRUPT_ASSIGNMENT",
+    "FAULT_CORRUPT_CUT",
+    "FAULT_KINDS",
+    "CORRUPTING_KINDS",
+    "WORKER_EXIT_CODE",
+]

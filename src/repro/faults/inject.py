@@ -1,0 +1,102 @@
+"""Applying a fault plan to running starts.
+
+The :class:`FaultInjector` is what the executors actually call: it
+turns the plan's abstract kinds into concrete misbehaviour at the two
+points a start can go wrong — before the algorithm runs (crash, hang,
+worker death) and after it returns (silent result corruption).
+
+Corruption is deterministic: the corrupted result is a pure function of
+``(plan seed, index, attempt)`` and the honest result, so a corrupted
+start looks byte-identical under serial and fork-pool execution.
+``corrupt_assignment`` searches (deterministically) for a module whose
+flip *changes the true cut* — guaranteeing the corruption is observable
+by recomputation — and falls back to also skewing the reported cut on
+degenerate netlists where no single flip matters.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import time
+from typing import Optional
+
+from ..errors import InjectedFault
+from .plan import (CORRUPTING_KINDS, FAULT_CORRUPT_ASSIGNMENT,
+                   FAULT_CORRUPT_CUT, FAULT_EXIT, FAULT_HANG, FAULT_RAISE,
+                   FaultPlan)
+
+__all__ = ["FaultInjector", "WORKER_EXIT_CODE"]
+
+#: Exit status used when an ``exit`` fault kills a pool worker;
+#: recognisable in process tables while debugging chaos runs.
+WORKER_EXIT_CODE = 70
+
+#: Candidate modules examined when searching for a cut-changing flip.
+_FLIP_CANDIDATES = 8
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against individual starts."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+
+    def fire(self, index: int, attempt: int,
+             in_worker: bool = False) -> Optional[str]:
+        """Apply any pre-call fault for ``(index, attempt)``.
+
+        Returns the fault kind when it is a *corrupting* one (to be
+        applied to the result via :meth:`corrupt`), ``None`` when the
+        start runs clean.  Pre-call kinds act immediately: ``raise``
+        raises, ``hang`` sleeps ``plan.hang_seconds``, ``exit`` kills
+        the worker process (``os._exit``) — or, in-process where a real
+        exit would take the whole sweep down, raises instead.
+        """
+        kind = self.plan.decide(index, attempt)
+        if kind is None:
+            return None
+        if kind == FAULT_RAISE:
+            raise InjectedFault(
+                f"injected crash (start {index}, attempt {attempt})")
+        if kind == FAULT_HANG:
+            time.sleep(self.plan.hang_seconds)
+            return None
+        if kind == FAULT_EXIT:
+            if in_worker:
+                os._exit(WORKER_EXIT_CODE)
+            raise InjectedFault(
+                f"injected worker exit (start {index}, attempt {attempt}; "
+                "simulated as a crash in-process)")
+        assert kind in CORRUPTING_KINDS
+        return kind
+
+    def corrupt(self, kind: str, index: int, attempt: int, hg,
+                result: object) -> object:
+        """Return a silently-corrupted shallow copy of ``result``."""
+        rng = self.plan.corruption_rng(index, attempt)
+        corrupted = copy.copy(result)
+        partition = getattr(result, "partition", None)
+        if kind == FAULT_CORRUPT_ASSIGNMENT and partition is not None:
+            from ..partition.objectives import cut as reference_cut
+            from ..partition.solution import Partition
+            honest_cut = reference_cut(hg, partition)
+            flipped = None
+            for _ in range(_FLIP_CANDIDATES):
+                v = rng.randrange(partition.num_modules)
+                assignment = list(partition.assignment)
+                shift = 1 + rng.randrange(partition.k - 1)
+                assignment[v] = (assignment[v] + shift) % partition.k
+                candidate = Partition(assignment, partition.k)
+                if reference_cut(hg, candidate) != honest_cut:
+                    flipped = candidate
+                    break
+            if flipped is not None:
+                corrupted.partition = flipped
+                return corrupted
+            # Degenerate netlist: no single flip moves the cut, so the
+            # flip alone would be unobservable; skew the report instead.
+            kind = FAULT_CORRUPT_CUT
+        reported = getattr(result, "cut", 0) or 0
+        corrupted.cut = reported + 1 + rng.randrange(9)
+        return corrupted

@@ -1,0 +1,155 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a pure function ``(start index, attempt) ->
+fault kind or None`` derived from a seed, so an armed portfolio suffers
+*the same* faults at any worker count and on every re-run: the decision
+for a start depends only on the plan and the start's identity, never on
+scheduling.  Faults come in two families:
+
+* **pre-call** — the start never produces a result: ``raise`` (the
+  worker raises :class:`~repro.errors.InjectedFault`), ``hang`` (the
+  worker sleeps past any reasonable budget), ``exit`` (the worker
+  process dies without returning).
+* **corrupting** — the start returns a *wrong* result:
+  ``corrupt_cut`` (the reported cut disagrees with the partition),
+  ``corrupt_assignment`` (a module is silently flipped to the other
+  side while the stale cut is still reported).  These model silent
+  result corruption — undetectable without ``verify=``.
+
+Plans decide probabilistically (``rate`` per (start, attempt)) and/or
+through an explicit ``targeted`` table used by tests to place a
+specific fault on a specific start.  ``attempts`` bounds how deep into
+the retry chain the rate-based faults reach: with the default ``1`` a
+retried start runs clean, so retries actually recover.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigError
+from ..rng import stable_seed
+
+__all__ = ["FAULT_RAISE", "FAULT_HANG", "FAULT_EXIT",
+           "FAULT_CORRUPT_ASSIGNMENT", "FAULT_CORRUPT_CUT",
+           "FAULT_KINDS", "CORRUPTING_KINDS", "FaultPlan"]
+
+#: The start raises :class:`~repro.errors.InjectedFault`.
+FAULT_RAISE = "raise"
+#: The start sleeps ``hang_seconds`` before running.
+FAULT_HANG = "hang"
+#: The worker process exits without returning (``os._exit`` in a pool
+#: worker; simulated as a raise in-process, where a real exit would
+#: take the whole sweep down).
+FAULT_EXIT = "exit"
+#: One module of the returned partition is flipped; the stale cut is
+#: still reported.
+FAULT_CORRUPT_ASSIGNMENT = "corrupt_assignment"
+#: The returned partition is intact but the reported cut is wrong.
+FAULT_CORRUPT_CUT = "corrupt_cut"
+
+FAULT_KINDS = (FAULT_RAISE, FAULT_HANG, FAULT_EXIT,
+               FAULT_CORRUPT_ASSIGNMENT, FAULT_CORRUPT_CUT)
+CORRUPTING_KINDS = (FAULT_CORRUPT_ASSIGNMENT, FAULT_CORRUPT_CUT)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seed-driven schedule of injected faults.
+
+    ``decide(index, attempt)`` is deterministic and
+    scheduling-independent: it hashes ``(seed, index, attempt)`` into a
+    private RNG, so the same plan produces the same faults serially and
+    across a fork pool.  ``targeted`` maps ``(index, attempt)`` to a
+    kind and wins over the rate draw; ``rate``-based faults only fire
+    on ``attempt <= attempts``.
+    """
+
+    seed: int = 0
+    rate: float = 0.0
+    kinds: Tuple[str, ...] = FAULT_KINDS
+    attempts: int = 1
+    hang_seconds: float = 30.0
+    targeted: Dict[Tuple[int, int], str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.attempts < 1:
+            raise ConfigError(f"attempts must be >= 1, got {self.attempts}")
+        if self.hang_seconds <= 0:
+            raise ConfigError(
+                f"hang_seconds must be > 0, got {self.hang_seconds}")
+        if not self.kinds:
+            raise ConfigError("kinds must name at least one fault kind")
+        for kind in tuple(self.kinds) + tuple(self.targeted.values()):
+            if kind not in FAULT_KINDS:
+                raise ConfigError(f"unknown fault kind {kind!r}; expected "
+                                  f"one of {FAULT_KINDS}")
+
+    # ------------------------------------------------------------------
+
+    def decide(self, index: int, attempt: int) -> Optional[str]:
+        """Fault kind for ``(index, attempt)``, or ``None`` to run clean."""
+        kind = self.targeted.get((index, attempt))
+        if kind is not None:
+            return kind
+        if self.rate == 0.0 or attempt > self.attempts:
+            return None
+        rng = random.Random(stable_seed("fault-plan", self.seed, index,
+                                        attempt))
+        if rng.random() >= self.rate:
+            return None
+        return self.kinds[rng.randrange(len(self.kinds))]
+
+    def corruption_rng(self, index: int, attempt: int) -> random.Random:
+        """Private RNG for corrupting a result — same derivation as
+        :meth:`decide`, so corruption is scheduling-independent too."""
+        return random.Random(stable_seed("fault-corrupt", self.seed, index,
+                                         attempt))
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a CLI spec string.
+
+        Either a bare rate (``"0.1"``) or comma-separated
+        ``key=value`` pairs: ``rate``, ``seed``, ``attempts``,
+        ``hang`` (seconds), and ``kinds`` as ``+``-joined names, e.g.
+        ``"rate=0.1,seed=7,kinds=raise+corrupt_cut"``.
+        """
+        spec = spec.strip()
+        if not spec:
+            raise ConfigError("empty fault spec")
+        kwargs: dict = {}
+        try:
+            kwargs["rate"] = float(spec)
+            return cls(**kwargs)
+        except ValueError:
+            pass
+        for part in spec.split(","):
+            if "=" not in part:
+                raise ConfigError(
+                    f"fault spec field {part!r} is not 'key=value'")
+            key, value = (s.strip() for s in part.split("=", 1))
+            try:
+                if key == "rate":
+                    kwargs["rate"] = float(value)
+                elif key == "seed":
+                    kwargs["seed"] = int(value)
+                elif key == "attempts":
+                    kwargs["attempts"] = int(value)
+                elif key == "hang":
+                    kwargs["hang_seconds"] = float(value)
+                elif key == "kinds":
+                    kwargs["kinds"] = tuple(value.split("+"))
+                else:
+                    raise ConfigError(f"unknown fault spec key {key!r}")
+            except ValueError:
+                raise ConfigError(
+                    f"bad value {value!r} for fault spec key {key!r}") \
+                    from None
+        return cls(**kwargs)

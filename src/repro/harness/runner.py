@@ -11,13 +11,24 @@ starts serially in-process (the historical behaviour), ``jobs=N`` fans
 them out to a worker pool.  Either way the per-start seeds come from
 the same :func:`repro.rng.child_seeds` stream, so the cut statistics
 are identical at any worker count; only the timing columns change.
+
+Long sweeps get three robustness knobs threaded straight through to
+the runtime: ``faults=`` (a deterministic
+:class:`~repro.faults.FaultPlan`, for chaos testing the sweep itself),
+``verify=`` (trust-but-verify recomputation of every returned
+solution), and ``min_ok_fraction`` (the survival quorum: a sweep
+degrades to statistics over the surviving starts — with a structured
+failure report on the cell — instead of dying because a few starts
+did).  ``run_matrix(checkpoint=...)`` additionally streams finished
+records to a JSONL file and resumes a killed sweep from it, skipping
+finished (cell, start) pairs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from statistics import mean, pstdev
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..errors import ConfigError, HarnessError
 from ..hypergraph import Hypergraph
@@ -45,8 +56,10 @@ class CellStats:
     whole cell.  Historically ``cpu_seconds`` held wall time; passing
     only ``cpu_seconds`` keeps old call sites constructible (wall
     defaults to the same value) but new code should set both.
-    ``failures`` counts runs that crashed or timed out; their cuts are
-    absent from ``cuts``.
+    ``failures`` counts runs that crashed, timed out, or returned a
+    result that failed verification; their cuts are absent from
+    ``cuts``, and ``report`` (when any start was lost) carries the
+    structured per-start account of what went wrong.
     """
 
     algorithm: str
@@ -55,6 +68,7 @@ class CellStats:
     cpu_seconds: float
     wall_seconds: Optional[float] = None
     failures: int = 0
+    report: Optional[object] = None
 
     def __post_init__(self):
         if self.wall_seconds is None:
@@ -96,21 +110,40 @@ def run_cell(algorithm: Algorithm, hg: Hypergraph, runs: int,
              jobs: int = 1,
              executor=None,
              budget_seconds: Optional[float] = None,
-             retries: int = 0) -> CellStats:
+             retries: int = 0,
+             faults=None,
+             verify: Union[bool, float] = False,
+             min_ok_fraction: Optional[float] = None,
+             backoff_seconds: float = 0.0,
+             completed=None,
+             on_record=None) -> CellStats:
     """Run one algorithm ``runs`` times on one circuit.
 
     ``jobs``/``executor`` select the runtime executor (see
     :mod:`repro.runtime`); ``budget_seconds`` and ``retries`` are the
-    per-start fault-tolerance knobs.  Defaults reproduce the original
-    serial semantics, except that a raising run is now recorded as a
-    failure instead of aborting the sweep.
+    per-start fault-tolerance knobs, ``backoff_seconds`` the retry
+    backoff base.  ``faults`` arms a deterministic
+    :class:`~repro.faults.FaultPlan` on every start; ``verify``
+    recomputes each returned solution from scratch (corrupt results
+    become retried ``invalid`` records, never statistics).
+    ``min_ok_fraction`` enforces the survival quorum: below it the cell
+    raises :class:`HarnessError` with a structured failure report; at
+    or above it the statistics cover the surviving starts.
+    ``completed``/``on_record`` are the checkpoint hooks (see
+    :func:`run_matrix`).  Defaults reproduce the original serial
+    semantics, except that a raising run is recorded as a failure
+    instead of aborting the sweep.
     """
     if runs < 1:
         raise ConfigError(f"runs must be >= 1, got {runs}")
     from ..runtime import Portfolio, execute
     portfolio = Portfolio(algorithm=algorithm, hg=hg, runs=runs, seed=seed,
-                          budget_seconds=budget_seconds, retries=retries)
-    return execute(portfolio, jobs=jobs, executor=executor).to_cell_stats()
+                          budget_seconds=budget_seconds, retries=retries,
+                          faults=faults, verify=verify,
+                          backoff_seconds=backoff_seconds)
+    outcome = execute(portfolio, jobs=jobs, executor=executor,
+                      completed=completed, on_record=on_record)
+    return outcome.require_quorum(min_ok_fraction).to_cell_stats()
 
 
 def run_matrix(algorithms: Sequence[Algorithm],
@@ -119,7 +152,12 @@ def run_matrix(algorithms: Sequence[Algorithm],
                seed: SeedLike = 0,
                jobs: int = 1,
                budget_seconds: Optional[float] = None,
-               retries: int = 0
+               retries: int = 0,
+               faults=None,
+               verify: Union[bool, float] = False,
+               min_ok_fraction: Optional[float] = None,
+               backoff_seconds: float = 0.0,
+               checkpoint=None
                ) -> Dict[str, Dict[str, CellStats]]:
     """Sweep ``algorithms x circuits``; result[circuit][algorithm].
 
@@ -128,14 +166,45 @@ def run_matrix(algorithms: Sequence[Algorithm],
     column never changes existing cells.  ``jobs`` parallelises the
     starts within each cell, which keeps the per-cell seed derivation
     (and therefore every cut) byte-identical to a serial sweep.
+
+    ``checkpoint`` names a JSONL file: every finished record is
+    streamed to it as it completes, and a sweep that died mid-flight
+    resumes from the same call by skipping the (cell, start) pairs
+    already on disk — reproducing the uninterrupted sweep's outcomes
+    exactly, because each start is a pure function of its
+    position-stable seed.  A checkpoint written by a different sweep
+    configuration is refused (:class:`~repro.errors.CheckpointError`).
+    ``faults``/``verify``/``min_ok_fraction``/``backoff_seconds`` are
+    threaded through to every cell (see :func:`run_cell`).
     """
-    table: Dict[str, Dict[str, CellStats]] = {}
-    for hg in circuits:
-        row: Dict[str, CellStats] = {}
-        for algorithm in algorithms:
-            cell_seed = stable_seed(str(seed), hg.name, algorithm.name)
-            row[algorithm.name] = run_cell(
-                algorithm, hg, runs, cell_seed, jobs=jobs,
-                budget_seconds=budget_seconds, retries=retries)
-        table[hg.name] = row
-    return table
+    ckpt = None
+    if checkpoint is not None:
+        from ..runtime import MatrixCheckpoint
+        ckpt = MatrixCheckpoint(
+            checkpoint, seed=seed, runs=runs,
+            algorithms=[a.name for a in algorithms],
+            circuits=[hg.name for hg in circuits])
+    try:
+        table: Dict[str, Dict[str, CellStats]] = {}
+        for hg in circuits:
+            row: Dict[str, CellStats] = {}
+            for algorithm in algorithms:
+                cell_seed = stable_seed(str(seed), hg.name, algorithm.name)
+                completed = on_record = None
+                if ckpt is not None:
+                    completed = ckpt.done(hg.name, algorithm.name)
+                    on_record = (
+                        lambda record, c=hg.name, a=algorithm.name:
+                        ckpt.write(c, a, record))
+                row[algorithm.name] = run_cell(
+                    algorithm, hg, runs, cell_seed, jobs=jobs,
+                    budget_seconds=budget_seconds, retries=retries,
+                    faults=faults, verify=verify,
+                    min_ok_fraction=min_ok_fraction,
+                    backoff_seconds=backoff_seconds,
+                    completed=completed, on_record=on_record)
+            table[hg.name] = row
+        return table
+    finally:
+        if ckpt is not None:
+            ckpt.close()

@@ -25,7 +25,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from ..errors import ParseError
+from ..errors import ParseError, ReproError
 from .builder import HypergraphBuilder
 from .hypergraph import Hypergraph
 
@@ -249,19 +249,39 @@ def write_are(areas: Dict[str, float], path: PathLike) -> None:
 
 
 def read_json(path: PathLike) -> Hypergraph:
-    """Read a hypergraph from this library's JSON container."""
+    """Read a hypergraph from this library's JSON container.
+
+    Every malformed-input failure — syntactically invalid JSON, a
+    non-object top level, missing keys, or values the
+    :class:`Hypergraph` constructor rejects (non-list nets, pins out of
+    range, mismatched weight vectors, ...) — surfaces as
+    :class:`~repro.errors.ParseError`, with the line number where the
+    JSON decoder can provide one, so the CLI's error contract holds
+    for this format exactly as it does for hMETIS and netD.
+    """
     try:
         data = json.loads(Path(path).read_text())
     except json.JSONDecodeError as exc:
-        raise ParseError(f"invalid JSON: {exc}") from None
+        raise ParseError(f"invalid JSON: {exc.msg}",
+                         line=exc.lineno) from None
+    if not isinstance(data, dict):
+        raise ParseError(
+            f"top-level JSON value must be an object, got "
+            f"{type(data).__name__}")
     for key in ("num_modules", "nets"):
         if key not in data:
             raise ParseError(f"missing key {key!r}")
-    return Hypergraph(data["nets"],
-                      num_modules=data["num_modules"],
-                      areas=data.get("areas"),
-                      net_weights=data.get("net_weights"),
-                      name=data.get("name", ""))
+    try:
+        return Hypergraph(data["nets"],
+                          num_modules=data["num_modules"],
+                          areas=data.get("areas"),
+                          net_weights=data.get("net_weights"),
+                          name=data.get("name", ""))
+    except ParseError:
+        raise
+    except (ReproError, TypeError, ValueError, KeyError,
+            IndexError) as exc:
+        raise ParseError(f"malformed netlist JSON: {exc}") from None
 
 
 def write_json(hg: Hypergraph, path: PathLike) -> None:

@@ -14,6 +14,8 @@ Layers
   plus the :func:`get_executor` / :func:`execute` entry points.
 * :mod:`.records`  — :class:`RunRecord` / :class:`PortfolioResult`,
   aggregating into the harness's ``CellStats``.
+* :mod:`.checkpoint` — :class:`MatrixCheckpoint`: JSONL streaming of
+  finished records; resume a killed sweep at (cell, start) granularity.
 * :mod:`.cache`    — :class:`HierarchyCache`: coarsen once per
   (circuit, config, seed), refine many.
 * :mod:`.mlstart`  — :func:`ml_portfolio`: the hierarchy-reusing ML
@@ -26,11 +28,13 @@ runs independently.  Only the timing fields differ between executors.
 """
 
 from .cache import HierarchyCache, default_hierarchy_cache
-from .executor import (ProcessExecutor, SerialExecutor, execute,
-                       get_executor)
+from .checkpoint import MatrixCheckpoint
+from .executor import (DEFAULT_COLLECT_TIMEOUT, ProcessExecutor,
+                       SerialExecutor, execute, get_executor)
 from .job import Job, Portfolio
 from .mlstart import (MLStartAlgorithm, ml_portfolio, ml_reuse_algorithm)
-from .records import (PortfolioResult, RunRecord, STATUS_FAILED,
+from .records import (FailureReport, PortfolioResult, RunRecord,
+                      RETRYABLE_STATUSES, STATUS_FAILED, STATUS_INVALID,
                       STATUS_OK, STATUS_TIMEOUT)
 
 __all__ = [
@@ -38,9 +42,14 @@ __all__ = [
     "Portfolio",
     "RunRecord",
     "PortfolioResult",
+    "FailureReport",
+    "MatrixCheckpoint",
     "STATUS_OK",
     "STATUS_FAILED",
     "STATUS_TIMEOUT",
+    "STATUS_INVALID",
+    "RETRYABLE_STATUSES",
+    "DEFAULT_COLLECT_TIMEOUT",
     "SerialExecutor",
     "ProcessExecutor",
     "get_executor",

@@ -12,10 +12,32 @@ through the fork, so nothing in it needs to pickle.  Where ``fork`` is
 unavailable (e.g. Windows), :func:`get_executor` degrades to the serial
 executor with a warning rather than failing the sweep.
 
-Fault model: a start that raises is caught (in the worker, or in the
-parent for serial runs) and recorded as a failed run; a start that
-exceeds the portfolio's wall-clock budget is recorded as a timeout and
-its worker is killed at pool shutdown.  The sweep always completes.
+Fault model
+-----------
+* A start that **raises** is caught (in the worker, or in the parent
+  for serial runs) and recorded ``failed``; failed starts are
+  re-executed up to ``retries`` times, sleeping the portfolio's
+  deterministic backoff schedule between attempts.
+* A start that **exceeds the wall-clock budget** is recorded
+  ``timeout`` and its worker is killed at pool shutdown; timeouts are
+  never retried (a hung worker already cost a pool slot).  The serial
+  executor cannot pre-empt, so it flags the overrun after the fact —
+  both executors demote through the same :func:`_flag_overrun` path,
+  so an overrun start is a ``timeout`` at any worker count.
+* A **worker that dies** without returning (``os._exit``, segfault) is
+  detected through the start-notice channel: every pool task announces
+  ``(index, attempt, pid)`` before running, and the collector probes
+  that pid while waiting, so a dead worker is recorded ``failed``
+  (and retried) within one poll interval instead of burning the whole
+  collection deadline.  The pool respawns a replacement; the sweep
+  always completes.
+* A start whose returned solution **fails verification**
+  (``portfolio.verify``) is recorded ``invalid`` and retried like a
+  failure; its cut never reaches the statistics.
+
+Fault *injection* (``portfolio.faults``) happens inside
+:func:`_execute_start` — worker-side under the pool — so an armed plan
+produces byte-identical outcome fingerprints serially and in parallel.
 """
 
 from __future__ import annotations
@@ -25,26 +47,98 @@ import os
 import time
 import traceback
 import warnings
-from typing import List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from ..errors import ConfigError
+from ..errors import ConfigError, ReproError
+from ..faults import FaultInjector
 from .job import Job, Portfolio
 from .records import (PortfolioResult, RunRecord,
                       STATUS_FAILED, STATUS_OK, STATUS_TIMEOUT)
 
-__all__ = ["SerialExecutor", "ProcessExecutor", "get_executor", "execute"]
+__all__ = ["SerialExecutor", "ProcessExecutor", "get_executor", "execute",
+           "DEFAULT_COLLECT_TIMEOUT"]
+
+#: Upper bound on how long the collector waits for any one outstanding
+#: start when the portfolio has no ``budget_seconds`` of its own.  A
+#: *finite* default is deliberate: with ``timeout=None`` a hung worker
+#: would block ``handle.get()`` — and the whole sweep — forever.
+DEFAULT_COLLECT_TIMEOUT = 3600.0
+
+#: Collector poll granularity: how often, while waiting on a result,
+#: the parent checks the start-notice channel for dead workers.
+_POLL_INTERVAL = 0.05
+
+OnRecord = Optional[Callable[[RunRecord], None]]
+Completed = Optional[Dict[int, RunRecord]]
+
+
+def _verify_result(portfolio: Portfolio, result: object) -> Optional[str]:
+    """Trust-but-verify: recompute the solution's objectives from scratch.
+
+    Uses the *reference* kernels (never the CSR twins), so with the CSR
+    kernels active this doubles as a cross-mode oracle: any divergence
+    between the two implementations surfaces as an ``invalid`` record.
+    Returns an error message, or ``None`` when the result checks out.
+    """
+    partition = getattr(result, "partition", None)
+    if partition is None:
+        return "verify: result exposes no partition to check"
+    from ..kernels import use_kernels
+    from ..partition.balance import BalanceConstraint
+    from ..partition.objectives import cut as reference_cut
+    try:
+        with use_kernels("reference"):
+            recomputed = reference_cut(portfolio.hg, partition)
+        reported = getattr(result, "cut", None)
+        if recomputed != reported:
+            return (f"verify: reported cut {reported} != recomputed cut "
+                    f"{recomputed}")
+        tolerance = portfolio.verify
+        if isinstance(tolerance, float) and not isinstance(tolerance, bool):
+            constraint = BalanceConstraint.from_tolerance(
+                portfolio.hg, tolerance, k=partition.k)
+            areas = partition.part_areas(portfolio.hg)
+            if not constraint.is_feasible(areas):
+                return (f"verify: part areas "
+                        f"{[round(a, 2) for a in areas]} violate balance "
+                        f"tolerance r={tolerance:g}")
+    except ReproError as exc:
+        return f"verify: recomputation failed: {exc}"
+    return None
 
 
 def _execute_start(portfolio: Portfolio, index: int, seed: int,
-                   attempt: int, worker: str) -> RunRecord:
-    """Run one start, converting any exception into a failed record."""
+                   attempt: int, worker: str,
+                   in_worker: bool = False) -> RunRecord:
+    """Run one start, converting any exception into a failed record.
+
+    Backoff for retries is slept here — before the timed section, in
+    whichever process runs the start — so the schedule is identical
+    under both executors (under the pool it does, however, count
+    toward the parent's collection deadline).
+    """
+    if attempt > 1:
+        delay = portfolio.backoff_delay(index, attempt)
+        if delay > 0.0:
+            time.sleep(delay)
+    injector = (FaultInjector(portfolio.faults)
+                if portfolio.faults is not None else None)
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
     try:
+        corrupting = (injector.fire(index, attempt, in_worker=in_worker)
+                      if injector is not None else None)
         result = portfolio.fn(portfolio.hg, seed)
+        if corrupting is not None:
+            result = injector.corrupt(corrupting, index, attempt,
+                                      portfolio.hg, result)
         record = RunRecord(
             index=index, seed=seed, status=STATUS_OK, cut=result.cut,
             result=result if portfolio.keep_results else None)
+        if portfolio.verify:
+            error = _verify_result(portfolio, result)
+            if error is not None:
+                record.mark_invalid(error)
     except Exception as exc:
         record = RunRecord(
             index=index, seed=seed, status=STATUS_FAILED,
@@ -56,17 +150,39 @@ def _execute_start(portfolio: Portfolio, index: int, seed: int,
     return record
 
 
+def _flag_overrun(record: RunRecord, budget: Optional[float]) -> bool:
+    """Demote a completed-but-overrun start to ``timeout``.
+
+    The single budget-flagging path for both executors: the serial
+    executor cannot pre-empt at all, and the pool's collector can race
+    a start that finishes just past its budget — either way the record
+    ends up identical to one whose worker was killed mid-flight.
+    """
+    if record.ok and budget is not None and record.wall_seconds > budget:
+        record.mark_timeout(f"exceeded budget of {budget:g}s "
+                            f"({record.wall_seconds:.2f}s)")
+        return True
+    return False
+
+
 class SerialExecutor:
     """Runs starts in order, in-process — the harness's historical
     behaviour plus fault isolation and budget flagging."""
 
     jobs = 1
 
-    def run(self, portfolio: Portfolio) -> PortfolioResult:
+    def run(self, portfolio: Portfolio, completed: Completed = None,
+            on_record: OnRecord = None) -> PortfolioResult:
         wall0 = time.perf_counter()
+        completed = dict(completed or {})
         records: List[RunRecord] = []
         for job in portfolio.jobs():
+            if job.index in completed:
+                records.append(completed[job.index])
+                continue
             record = self._run_with_retries(portfolio, job)
+            if on_record is not None:
+                on_record(record)
             records.append(record)
         return PortfolioResult(
             algorithm=portfolio.name, circuit=portfolio.hg.name,
@@ -79,17 +195,8 @@ class SerialExecutor:
         while True:
             record = _execute_start(portfolio, job.index, job.seed,
                                     attempt, worker="serial")
-            budget = portfolio.budget_seconds
-            if (record.ok and budget is not None
-                    and record.wall_seconds > budget):
-                # Cannot pre-empt in-process; flag the overrun so stats
-                # match what a killing executor would have reported.
-                record.status = STATUS_TIMEOUT
-                record.cut = None
-                record.result = None
-                record.error = (f"exceeded budget of {budget:g}s "
-                                f"({record.wall_seconds:.2f}s)")
-            if record.status != STATUS_FAILED or attempt > portfolio.retries:
+            _flag_overrun(record, portfolio.budget_seconds)
+            if not record.retryable or attempt > portfolio.retries:
                 return record
             attempt += 1
 
@@ -98,23 +205,46 @@ class SerialExecutor:
 # through fork, so the netlist and algorithm never cross a pipe.
 _ACTIVE: Optional[Portfolio] = None
 
+# Start-notice channel: workers announce (index, attempt, pid) before
+# running a task, letting the parent tell a dead worker (pid gone,
+# record failed, retry) from a hung one (pid alive, record timeout).
+_NOTICES = None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True
+
 
 def _pool_run(task: Tuple[int, int, int]) -> RunRecord:
     index, seed, attempt = task
     assert _ACTIVE is not None, "worker forked without an active portfolio"
+    if _NOTICES is not None:
+        _NOTICES.put((index, attempt, os.getpid()))
     return _execute_start(_ACTIVE, index, seed, attempt,
-                          worker=f"pid:{os.getpid()}")
+                          worker=f"pid:{os.getpid()}", in_worker=True)
 
 
 class ProcessExecutor:
     """Fans starts out to a fork-based worker pool.
 
     ``budget_seconds`` (from the portfolio) bounds how long the parent
-    waits on each outstanding start while collecting, measured per
-    ``get``; a start that blows it is recorded as a timeout and its
-    worker is killed when the pool shuts down.  Failed (raising) starts
-    are resubmitted up to ``retries`` times; timeouts are not retried —
-    a hung worker already costs a pool slot.
+    waits on each outstanding start while collecting — **measured from
+    the moment collection of that record begins, not from task
+    dispatch** (records are collected in submission order, so an
+    earlier slow start extends the wall-clock grace of later ones; it
+    never shrinks it).  With no budget the wait is still finite
+    (:data:`DEFAULT_COLLECT_TIMEOUT`), so a hung worker can delay a
+    sweep but never wedge it.  A start that blows the deadline is
+    recorded as a timeout and its worker is killed when the pool shuts
+    down.  Failed (raising or dead-worker) and invalid (verification)
+    starts are resubmitted up to ``retries`` times; timeouts are not
+    retried — a hung worker already costs a pool slot.
     """
 
     def __init__(self, jobs: int):
@@ -125,36 +255,44 @@ class ProcessExecutor:
                 "ProcessExecutor requires the 'fork' start method")
         self.jobs = jobs
 
-    def run(self, portfolio: Portfolio) -> PortfolioResult:
-        global _ACTIVE
+    def run(self, portfolio: Portfolio, completed: Completed = None,
+            on_record: OnRecord = None) -> PortfolioResult:
+        global _ACTIVE, _NOTICES
         wall0 = time.perf_counter()
-        context = multiprocessing.get_context("fork")
-        _ACTIVE = portfolio
-        timed_out = False
-        records = {}
-        try:
-            with context.Pool(processes=self.jobs) as pool:
-                pending = [(job.index, job.seed, 1)
-                           for job in portfolio.jobs()]
-                while pending:
-                    inflight = [(task, pool.apply_async(_pool_run, (task,)))
-                                for task in pending]
-                    pending = []
-                    for task, handle in inflight:
-                        index, seed, attempt = task
-                        record = self._collect(portfolio, handle, index,
-                                               seed, attempt)
-                        timed_out |= record.status == STATUS_TIMEOUT
-                        if (record.status == STATUS_FAILED
-                                and attempt <= portfolio.retries):
-                            pending.append((index, seed, attempt + 1))
-                            continue
-                        records[index] = record
-                if timed_out:
-                    # Hung workers never return; don't join them.
-                    pool.terminate()
-        finally:
-            _ACTIVE = None
+        records: Dict[int, RunRecord] = dict(completed or {})
+        pending = [(job.index, job.seed, 1) for job in portfolio.jobs()
+                   if job.index not in records]
+        if pending:
+            context = multiprocessing.get_context("fork")
+            _ACTIVE = portfolio
+            _NOTICES = context.SimpleQueue()
+            started: Dict[Tuple[int, int], int] = {}
+            timed_out = False
+            try:
+                with context.Pool(processes=self.jobs) as pool:
+                    while pending:
+                        inflight = [(task,
+                                     pool.apply_async(_pool_run, (task,)))
+                                    for task in pending]
+                        pending = []
+                        for task, handle in inflight:
+                            index, seed, attempt = task
+                            record = self._collect(portfolio, handle, index,
+                                                   seed, attempt, started)
+                            timed_out |= record.status == STATUS_TIMEOUT
+                            if (record.retryable
+                                    and attempt <= portfolio.retries):
+                                pending.append((index, seed, attempt + 1))
+                                continue
+                            records[index] = record
+                            if on_record is not None:
+                                on_record(record)
+                    if timed_out:
+                        # Hung workers never return; don't join them.
+                        pool.terminate()
+            finally:
+                _ACTIVE = None
+                _NOTICES = None
         ordered = [records[i] for i in sorted(records)]
         return PortfolioResult(
             algorithm=portfolio.name, circuit=portfolio.hg.name,
@@ -162,23 +300,66 @@ class ProcessExecutor:
             jobs=self.jobs)
 
     @staticmethod
-    def _collect(portfolio: Portfolio, handle, index: int, seed: int,
-                 attempt: int) -> RunRecord:
-        try:
-            return handle.get(timeout=portfolio.budget_seconds)
-        except multiprocessing.TimeoutError:
-            return RunRecord(
-                index=index, seed=seed, status=STATUS_TIMEOUT,
-                wall_seconds=portfolio.budget_seconds or 0.0,
-                worker="pool", attempts=attempt,
-                error=f"no result within {portfolio.budget_seconds:g}s")
-        except Exception as exc:
-            # The worker died before returning (segfault, os._exit, ...).
-            return RunRecord(
-                index=index, seed=seed, status=STATUS_FAILED,
-                worker="pool", attempts=attempt,
-                error="".join(
+    def _drain_notices(started: Dict[Tuple[int, int], int]) -> None:
+        queue = _NOTICES
+        if queue is None:
+            return
+        while not queue.empty():
+            index, attempt, pid = queue.get()
+            started[(index, attempt)] = pid
+
+    @classmethod
+    def _collect(cls, portfolio: Portfolio, handle, index: int, seed: int,
+                 attempt: int,
+                 started: Dict[Tuple[int, int], int]) -> RunRecord:
+        """Wait for one outstanding start, with a finite deadline.
+
+        The deadline — ``budget_seconds`` or, when the portfolio has
+        none, :data:`DEFAULT_COLLECT_TIMEOUT` — is measured from the
+        start of *this collection*, not from task dispatch.  While
+        waiting, the collector polls the start-notice channel: a task
+        whose announced worker pid has vanished is recorded ``failed``
+        (worker died — retryable) immediately, instead of masquerading
+        as a timeout after the full deadline.
+        """
+        budget = portfolio.budget_seconds
+        deadline = budget if budget is not None else DEFAULT_COLLECT_TIMEOUT
+        waited = 0.0
+        while True:
+            cls._drain_notices(started)
+            step = min(_POLL_INTERVAL, max(deadline - waited, 0.001))
+            try:
+                record = handle.get(timeout=step)
+            except multiprocessing.TimeoutError:
+                waited += step
+                cls._drain_notices(started)
+                pid = started.get((index, attempt))
+                if pid is not None and not _pid_alive(pid):
+                    return RunRecord(
+                        index=index, seed=seed, status=STATUS_OK,
+                        wall_seconds=waited, worker=f"pid:{pid}",
+                        attempts=attempt,
+                    ).mark_failed(
+                        f"worker pid {pid} died before returning")
+                if waited >= deadline:
+                    return RunRecord(
+                        index=index, seed=seed, status=STATUS_OK,
+                        wall_seconds=waited, worker="pool",
+                        attempts=attempt,
+                    ).mark_timeout(
+                        f"no result within {deadline:g}s of collection "
+                        "(deadline runs from collection start, not task "
+                        "dispatch)")
+            except Exception as exc:
+                # The worker died in a way the pool itself reported.
+                return RunRecord(
+                    index=index, seed=seed, status=STATUS_OK,
+                    worker="pool", attempts=attempt,
+                ).mark_failed("".join(
                     traceback.format_exception_only(exc)).strip())
+            else:
+                _flag_overrun(record, budget)
+                return record
 
 
 def get_executor(jobs: int = 1, executor=None):
@@ -202,7 +383,15 @@ def get_executor(jobs: int = 1, executor=None):
         return SerialExecutor()
 
 
-def execute(portfolio: Portfolio, jobs: int = 1,
-            executor=None) -> PortfolioResult:
-    """Run ``portfolio`` on the executor selected by ``jobs``/``executor``."""
-    return get_executor(jobs, executor).run(portfolio)
+def execute(portfolio: Portfolio, jobs: int = 1, executor=None,
+            completed: Completed = None,
+            on_record: OnRecord = None) -> PortfolioResult:
+    """Run ``portfolio`` on the executor selected by ``jobs``/``executor``.
+
+    ``completed`` maps start indices to already-finished records (from
+    a checkpoint); those starts are not re-run.  ``on_record`` is
+    invoked in the parent for every *newly* finished record — the
+    checkpoint streaming hook.
+    """
+    return get_executor(jobs, executor).run(portfolio, completed=completed,
+                                            on_record=on_record)

@@ -5,16 +5,23 @@ starts of one algorithm on one circuit.  Per-start seeds come from
 :func:`repro.rng.child_seeds`, the same derivation the serial harness
 uses, so the seed sequence — and therefore the cut set — is independent
 of how the starts are scheduled.
+
+Robustness knobs live here too: an armed :class:`~repro.faults.FaultPlan`
+(``faults=``), trust-but-verify recomputation of returned solutions
+(``verify=``), and bounded exponential retry backoff whose jitter is
+drawn from the portfolio's own seed stream (``backoff_seconds=``), so
+retry timing — like everything else — is a pure function of the seed.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Union
 
 from ..errors import ConfigError
 from ..hypergraph import Hypergraph
-from ..rng import SeedLike, child_seeds
+from ..rng import SeedLike, child_seeds, stable_seed
 
 __all__ = ["Job", "Portfolio"]
 
@@ -42,6 +49,14 @@ class Portfolio:
     for flaky environments, a deterministic crash fails every attempt.
     ``keep_results`` stores each start's full result object on its
     record (needed to recover the best partition, costs memory).
+
+    ``verify`` recomputes each returned solution's cut (and, when a
+    balance tolerance float is given, its balance) from scratch with
+    the reference objectives; a mismatch demotes the record to
+    ``invalid``, which is retried like a failure.  ``faults`` arms a
+    :class:`~repro.faults.FaultPlan` on every start.
+    ``backoff_seconds`` (base) and ``backoff_cap`` shape the bounded
+    exponential backoff slept before each retry.
     """
 
     algorithm: object
@@ -51,6 +66,10 @@ class Portfolio:
     budget_seconds: Optional[float] = None
     retries: int = 0
     keep_results: bool = False
+    faults: Optional[object] = None
+    verify: Union[bool, float] = False
+    backoff_seconds: float = 0.0
+    backoff_cap: float = 30.0
 
     def __post_init__(self):
         if self.runs < 1:
@@ -63,6 +82,21 @@ class Portfolio:
         if not callable(getattr(self.algorithm, "fn", None)):
             raise ConfigError(
                 "algorithm must expose a callable .fn(hg, seed)")
+        if self.faults is not None and \
+                not callable(getattr(self.faults, "decide", None)):
+            raise ConfigError(
+                "faults must be a FaultPlan (expose decide(index, attempt))")
+        if isinstance(self.verify, float) and not isinstance(self.verify,
+                                                             bool):
+            if not 0.0 <= self.verify < 1.0:
+                raise ConfigError(
+                    f"verify tolerance must be in [0, 1), got {self.verify}")
+        if self.backoff_seconds < 0:
+            raise ConfigError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}")
+        if self.backoff_cap <= 0:
+            raise ConfigError(
+                f"backoff_cap must be > 0, got {self.backoff_cap}")
 
     @property
     def name(self) -> str:
@@ -77,3 +111,22 @@ class Portfolio:
         10-of-100 prefix protocol."""
         return [Job(index=i, seed=s)
                 for i, s in enumerate(child_seeds(self.seed, self.runs))]
+
+    def backoff_delay(self, index: int, attempt: int) -> float:
+        """Sleep before running ``attempt`` of start ``index``.
+
+        Bounded exponential backoff with deterministic jitter:
+        ``min(cap, base * 2^(attempt-2)) * U`` where ``U`` in
+        ``[0.5, 1.0)`` is drawn from an RNG keyed on the portfolio's
+        own seed and the start's identity — the same derivation style
+        as the child seeds, so serial and pooled retries sleep the
+        same schedule.  ``attempt`` 1 (the first execution) and a zero
+        base never sleep.
+        """
+        if attempt <= 1 or self.backoff_seconds <= 0.0:
+            return 0.0
+        base = min(self.backoff_cap,
+                   self.backoff_seconds * 2.0 ** (attempt - 2))
+        rng = random.Random(stable_seed("backoff", str(self.seed), index,
+                                        attempt))
+        return base * (0.5 + 0.5 * rng.random())

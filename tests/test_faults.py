@@ -1,0 +1,482 @@
+"""Tests for the fault-injection harness and its consumers.
+
+Covers the deterministic :class:`FaultPlan` / :class:`FaultInjector`
+pair, trust-but-verify demotion to ``invalid``, retry backoff, the
+survival quorum, and the sweep checkpoint — including the headline
+contract of the robustness layer: the same ``(seed, fault plan)``
+produces byte-identical outcome fingerprints at any worker count, and
+a killed sweep resumes to the uninterrupted sweep's exact results.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import (CheckpointError, ConfigError, HarnessError,
+                          InjectedFault)
+from repro.faults import (FAULT_CORRUPT_ASSIGNMENT, FAULT_CORRUPT_CUT,
+                          FAULT_EXIT, FAULT_HANG, FAULT_KINDS, FAULT_RAISE,
+                          FaultInjector, FaultPlan)
+from repro.fm import fm_bipartition
+from repro.harness import Algorithm, run_cell, run_matrix
+from repro.hypergraph import hierarchical_circuit
+from repro.partition.objectives import cut as reference_cut
+from repro.runtime import (MatrixCheckpoint, Portfolio, RunRecord,
+                           STATUS_FAILED, STATUS_INVALID, STATUS_OK,
+                           STATUS_TIMEOUT, execute)
+
+pytestmark = pytest.mark.faults
+
+
+def _fm() -> Algorithm:
+    return Algorithm("FM", lambda hg, s: fm_bipartition(hg, seed=s))
+
+
+def _always_failing() -> Algorithm:
+    def run(hg, s):
+        raise ValueError("always broken")
+    return Algorithm("BROKEN", run)
+
+
+@pytest.fixture
+def small_hg():
+    return hierarchical_circuit(60, 70, seed=3, name="small")
+
+
+class TestFaultPlan:
+    def test_decide_is_deterministic(self):
+        plan = FaultPlan(seed=3, rate=0.5)
+        twin = FaultPlan(seed=3, rate=0.5)
+        decisions = [plan.decide(i, 1) for i in range(50)]
+        assert decisions == [plan.decide(i, 1) for i in range(50)]
+        assert decisions == [twin.decide(i, 1) for i in range(50)]
+
+    def test_seed_changes_schedule(self):
+        a = [FaultPlan(seed=1, rate=0.5).decide(i, 1) for i in range(50)]
+        b = [FaultPlan(seed=2, rate=0.5).decide(i, 1) for i in range(50)]
+        assert a != b
+
+    def test_zero_rate_runs_clean(self):
+        plan = FaultPlan(seed=0, rate=0.0)
+        assert all(plan.decide(i, a) is None
+                   for i in range(20) for a in (1, 2))
+
+    def test_rate_one_always_faults(self):
+        plan = FaultPlan(seed=9, rate=1.0)
+        assert all(plan.decide(i, 1) in FAULT_KINDS for i in range(20))
+
+    def test_attempts_bounds_rate_faults(self):
+        """With attempts=1 a retried start runs clean — retries recover."""
+        plan = FaultPlan(seed=9, rate=1.0, attempts=1)
+        assert all(plan.decide(i, 2) is None for i in range(20))
+        deeper = FaultPlan(seed=9, rate=1.0, attempts=2)
+        assert any(deeper.decide(i, 2) is not None for i in range(20))
+
+    def test_targeted_wins_over_rate(self):
+        plan = FaultPlan(seed=0, rate=0.0, targeted={(2, 1): FAULT_RAISE})
+        assert plan.decide(2, 1) == FAULT_RAISE
+        assert plan.decide(1, 1) is None
+        assert plan.decide(2, 2) is None
+
+    def test_targeted_fires_past_attempts_bound(self):
+        plan = FaultPlan(seed=0, attempts=1,
+                         targeted={(0, 3): FAULT_CORRUPT_CUT})
+        assert plan.decide(0, 3) == FAULT_CORRUPT_CUT
+
+    def test_parse_bare_rate(self):
+        assert FaultPlan.parse("0.25").rate == 0.25
+
+    def test_parse_key_value_spec(self):
+        plan = FaultPlan.parse(
+            "rate=0.1, seed=7, kinds=raise+corrupt_cut, attempts=2, hang=5")
+        assert plan.rate == 0.1
+        assert plan.seed == 7
+        assert plan.kinds == (FAULT_RAISE, FAULT_CORRUPT_CUT)
+        assert plan.attempts == 2
+        assert plan.hang_seconds == 5.0
+
+    @pytest.mark.parametrize("spec", [
+        "", "rate", "rate=x", "bogus=1", "rate=0.1,kinds=nosuchfault",
+    ])
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse(spec)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(attempts=0)
+        with pytest.raises(ConfigError):
+            FaultPlan(hang_seconds=0)
+        with pytest.raises(ConfigError):
+            FaultPlan(kinds=())
+        with pytest.raises(ConfigError):
+            FaultPlan(kinds=("nosuchfault",))
+        with pytest.raises(ConfigError):
+            FaultPlan(targeted={(0, 1): "nosuchfault"})
+
+
+class TestFaultInjector:
+    def test_raise_fault(self):
+        injector = FaultInjector(
+            FaultPlan(targeted={(0, 1): FAULT_RAISE}))
+        with pytest.raises(InjectedFault, match="injected crash"):
+            injector.fire(0, 1)
+
+    def test_exit_simulated_as_crash_in_process(self):
+        """In-process, a real os._exit would take the sweep down."""
+        injector = FaultInjector(
+            FaultPlan(targeted={(0, 1): FAULT_EXIT}))
+        with pytest.raises(InjectedFault, match="worker exit"):
+            injector.fire(0, 1, in_worker=False)
+
+    def test_hang_sleeps(self):
+        injector = FaultInjector(
+            FaultPlan(hang_seconds=0.05, targeted={(0, 1): FAULT_HANG}))
+        t0 = time.perf_counter()
+        assert injector.fire(0, 1) is None
+        assert time.perf_counter() - t0 >= 0.05
+
+    def test_clean_start_is_a_no_op(self):
+        injector = FaultInjector(FaultPlan(rate=0.0))
+        assert injector.fire(0, 1) is None
+
+    def test_corrupting_kinds_are_deferred(self):
+        injector = FaultInjector(
+            FaultPlan(targeted={(0, 1): FAULT_CORRUPT_CUT,
+                                (1, 1): FAULT_CORRUPT_ASSIGNMENT}))
+        assert injector.fire(0, 1) == FAULT_CORRUPT_CUT
+        assert injector.fire(1, 1) == FAULT_CORRUPT_ASSIGNMENT
+
+
+class TestCorruption:
+    def test_corrupt_cut_skews_report_only(self, small_hg):
+        honest = fm_bipartition(small_hg, seed=1)
+        injector = FaultInjector(FaultPlan(seed=4))
+        corrupted = injector.corrupt(FAULT_CORRUPT_CUT, 0, 1, small_hg,
+                                     honest)
+        assert corrupted.cut != honest.cut
+        assert corrupted.partition == honest.partition
+        assert honest.cut == reference_cut(small_hg, honest.partition)
+
+    def test_corrupt_assignment_is_observable(self, small_hg):
+        """The corruption must be detectable by recomputation."""
+        honest = fm_bipartition(small_hg, seed=1)
+        injector = FaultInjector(FaultPlan(seed=4))
+        corrupted = injector.corrupt(FAULT_CORRUPT_ASSIGNMENT, 0, 1,
+                                     small_hg, honest)
+        assert reference_cut(small_hg, corrupted.partition) != corrupted.cut
+
+    def test_corruption_is_deterministic(self, small_hg):
+        honest = fm_bipartition(small_hg, seed=1)
+        injector = FaultInjector(FaultPlan(seed=4))
+        a = injector.corrupt(FAULT_CORRUPT_ASSIGNMENT, 2, 1, small_hg,
+                             honest)
+        b = injector.corrupt(FAULT_CORRUPT_ASSIGNMENT, 2, 1, small_hg,
+                             honest)
+        assert a.cut == b.cut
+        assert a.partition == b.partition
+        # A different start identity corrupts differently.
+        c = injector.corrupt(FAULT_CORRUPT_ASSIGNMENT, 3, 1, small_hg,
+                             honest)
+        assert (c.cut, c.partition) != (a.cut, a.partition)
+
+
+class TestVerify:
+    def test_honest_runs_pass_verification(self, small_hg):
+        stats = run_cell(_fm(), small_hg, runs=3, seed=0, verify=True)
+        assert stats.failures == 0
+        assert stats.runs == 3
+
+    @pytest.mark.parametrize("kind", [FAULT_CORRUPT_CUT,
+                                      FAULT_CORRUPT_ASSIGNMENT])
+    def test_corruption_caught_as_invalid(self, small_hg, kind):
+        plan = FaultPlan(targeted={(1, 1): kind})
+        outcome = execute(Portfolio(_fm(), small_hg, runs=3, seed=0,
+                                    faults=plan, verify=True))
+        record = outcome.records[1]
+        assert record.status == STATUS_INVALID
+        assert record.cut is None
+        assert "verify" in record.error
+        stats = outcome.to_cell_stats()
+        assert stats.runs == 2 and stats.failures == 1
+
+    def test_invalid_is_retried_and_recovers(self, small_hg):
+        clean = execute(Portfolio(_fm(), small_hg, runs=3, seed=0))
+        plan = FaultPlan(targeted={(1, 1): FAULT_CORRUPT_CUT})
+        outcome = execute(Portfolio(_fm(), small_hg, runs=3, seed=0,
+                                    faults=plan, verify=True, retries=1))
+        assert [r.status for r in outcome.records] == [STATUS_OK] * 3
+        assert outcome.records[1].attempts == 2
+        assert outcome.cuts == clean.cuts  # never contaminates statistics
+
+    def test_unverified_corruption_slips_through(self, small_hg):
+        """Documents why verify= exists: without it the wrong cut is
+        silently aggregated."""
+        clean = execute(Portfolio(_fm(), small_hg, runs=3, seed=0))
+        plan = FaultPlan(targeted={(1, 1): FAULT_CORRUPT_CUT})
+        outcome = execute(Portfolio(_fm(), small_hg, runs=3, seed=0,
+                                    faults=plan))
+        assert outcome.records[1].status == STATUS_OK
+        assert outcome.cuts != clean.cuts
+
+    def test_verify_tolerance_validated(self, small_hg):
+        with pytest.raises(ConfigError):
+            Portfolio(_fm(), small_hg, runs=1, verify=1.5)
+
+
+class TestBackoff:
+    def test_first_attempt_never_sleeps(self, small_hg):
+        portfolio = Portfolio(_fm(), small_hg, runs=1,
+                              backoff_seconds=5.0)
+        assert portfolio.backoff_delay(0, 1) == 0.0
+
+    def test_zero_base_never_sleeps(self, small_hg):
+        portfolio = Portfolio(_fm(), small_hg, runs=1)
+        assert portfolio.backoff_delay(0, 5) == 0.0
+
+    def test_deterministic_and_bounded(self, small_hg):
+        portfolio = Portfolio(_fm(), small_hg, runs=1, seed=7,
+                              backoff_seconds=0.2, backoff_cap=1.0)
+        twin = Portfolio(_fm(), small_hg, runs=1, seed=7,
+                         backoff_seconds=0.2, backoff_cap=1.0)
+        for attempt in range(2, 10):
+            delay = portfolio.backoff_delay(0, attempt)
+            assert delay == twin.backoff_delay(0, attempt)
+            base = min(1.0, 0.2 * 2.0 ** (attempt - 2))
+            assert 0.5 * base <= delay < base or delay == base
+
+    def test_retry_actually_sleeps(self, small_hg):
+        portfolio = Portfolio(_always_failing(), small_hg, runs=1, seed=0,
+                              retries=1, backoff_seconds=0.2)
+        t0 = time.perf_counter()
+        outcome = execute(portfolio)
+        elapsed = time.perf_counter() - t0
+        assert outcome.records[0].attempts == 2
+        assert elapsed >= 0.1  # delay = 0.2 * U, U in [0.5, 1)
+
+    def test_validation(self, small_hg):
+        with pytest.raises(ConfigError):
+            Portfolio(_fm(), small_hg, runs=1, backoff_seconds=-1.0)
+        with pytest.raises(ConfigError):
+            Portfolio(_fm(), small_hg, runs=1, backoff_cap=0.0)
+
+
+@pytest.mark.parallel
+class TestCrossModeDeterminism:
+    """Same (seed, fault plan) => byte-identical fingerprints at any
+    worker count — the acceptance contract of the robustness layer."""
+
+    def test_armed_plan_fingerprints_match(self, small_hg):
+        plan = FaultPlan(seed=5, rate=0.4,
+                         kinds=(FAULT_RAISE, FAULT_CORRUPT_CUT,
+                                FAULT_CORRUPT_ASSIGNMENT))
+
+        def portfolio():
+            return Portfolio(_fm(), small_hg, runs=6, seed=3, faults=plan,
+                             verify=True, retries=2)
+
+        serial = execute(portfolio(), jobs=1)
+        pooled = execute(portfolio(), jobs=4)
+        assert serial.fingerprint() == pooled.fingerprint()
+        # The plan actually fired: some start needed a retry to recover.
+        assert any(r.attempts > 1 for r in serial.records)
+        assert [r.status for r in serial.records] == [STATUS_OK] * 6
+
+    def test_exit_fault_fingerprints_match(self, small_hg):
+        """A worker death (real under the pool, simulated serially) is
+        the same failed outcome either way."""
+        plan = FaultPlan(targeted={(1, 1): FAULT_EXIT})
+
+        def portfolio():
+            return Portfolio(_fm(), small_hg, runs=3, seed=0, faults=plan)
+
+        serial = execute(portfolio(), jobs=1)
+        pooled = execute(portfolio(), jobs=2)
+        assert serial.fingerprint() == pooled.fingerprint()
+        assert serial.records[1].status == STATUS_FAILED
+
+
+@pytest.mark.parallel
+class TestExitAndHangFaults:
+    def test_exit_fault_recovers_with_retry(self, small_hg):
+        plan = FaultPlan(targeted={(1, 1): FAULT_EXIT})
+        outcome = execute(Portfolio(_fm(), small_hg, runs=3, seed=0,
+                                    faults=plan, retries=1), jobs=2)
+        assert [r.status for r in outcome.records] == [STATUS_OK] * 3
+        assert outcome.records[1].attempts == 2
+        assert [r.attempts for i, r in enumerate(outcome.records)
+                if i != 1] == [1, 1]
+
+    def test_hang_fault_times_out_and_is_not_retried(self, small_hg):
+        plan = FaultPlan(hang_seconds=5.0,
+                         targeted={(0, 1): FAULT_HANG})
+        t0 = time.perf_counter()
+        outcome = execute(Portfolio(_fm(), small_hg, runs=2, seed=0,
+                                    faults=plan, budget_seconds=0.5,
+                                    retries=2), jobs=2)
+        elapsed = time.perf_counter() - t0
+        hung = outcome.records[0]
+        assert hung.status == STATUS_TIMEOUT
+        assert hung.attempts == 1  # timeouts are never retried
+        assert outcome.records[1].status == STATUS_OK
+        assert elapsed < 5.0  # pool terminated, not waited out
+
+
+class TestQuorum:
+    def test_none_is_a_no_op(self, small_hg):
+        outcome = execute(Portfolio(_always_failing(), small_hg, runs=2,
+                                    seed=0))
+        assert outcome.require_quorum(None) is outcome
+
+    def test_quorum_met(self, small_hg):
+        plan = FaultPlan(targeted={(0, 1): FAULT_RAISE})
+        outcome = execute(Portfolio(_fm(), small_hg, runs=4, seed=0,
+                                    faults=plan))
+        assert outcome.require_quorum(0.75) is outcome
+
+    def test_quorum_not_met_carries_report(self, small_hg):
+        plan = FaultPlan(targeted={(0, 1): FAULT_RAISE,
+                                   (1, 1): FAULT_RAISE})
+        outcome = execute(Portfolio(_fm(), small_hg, runs=4, seed=0,
+                                    faults=plan))
+        with pytest.raises(HarnessError) as excinfo:
+            outcome.require_quorum(0.9)
+        message = str(excinfo.value)
+        assert "quorum not met" in message
+        assert "2/4" in message
+        assert "start 0" in message and "start 1" in message
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.5])
+    def test_fraction_validated(self, small_hg, fraction):
+        outcome = execute(Portfolio(_fm(), small_hg, runs=1, seed=0))
+        with pytest.raises(HarnessError):
+            outcome.require_quorum(fraction)
+
+    def test_run_cell_threads_quorum(self, small_hg):
+        with pytest.raises(HarnessError, match="quorum"):
+            run_cell(_always_failing(), small_hg, runs=2, seed=0,
+                     min_ok_fraction=0.5)
+
+    def test_cell_stats_carry_failure_report(self, small_hg):
+        plan = FaultPlan(targeted={(0, 1): FAULT_RAISE})
+        stats = run_cell(_fm(), small_hg, runs=3, seed=0, faults=plan)
+        assert stats.failures == 1
+        assert stats.report is not None
+        assert "1/3 starts lost" in stats.report.render()
+        assert stats.report.to_json_dict()["by_status"][STATUS_FAILED] == 1
+
+
+class TestRunRecordRoundtrip:
+    @pytest.mark.parametrize("status,error", [
+        (STATUS_OK, None),
+        (STATUS_FAILED, "boom"),
+        (STATUS_TIMEOUT, "too slow"),
+        (STATUS_INVALID, "verify: wrong cut"),
+    ])
+    def test_json_roundtrip(self, status, error):
+        record = RunRecord(index=3, seed=99, status=status,
+                           cut=17 if status == STATUS_OK else None,
+                           wall_seconds=0.5, cpu_seconds=0.4,
+                           worker="pid:1", error=error, attempts=2,
+                           result=object())
+        restored = RunRecord.from_json_dict(record.to_json_dict())
+        assert restored.result is None  # results are never persisted
+        for name in ("index", "seed", "status", "cut", "wall_seconds",
+                     "cpu_seconds", "worker", "error", "attempts"):
+            assert getattr(restored, name) == getattr(record, name)
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(HarnessError, match="missing field"):
+            RunRecord.from_json_dict({"index": 0})
+
+
+class TestCheckpoint:
+    RUNS = 4
+
+    def _sweep(self, hg, path=None, algorithm=None):
+        return run_matrix([algorithm or _fm()], [hg], runs=self.RUNS,
+                          seed=11, checkpoint=path)
+
+    def test_streams_header_and_records(self, small_hg, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        self._sweep(small_hg, path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 + self.RUNS
+        assert '"kind": "header"' in lines[0]
+
+    def test_resume_skips_finished_starts(self, small_hg, tmp_path):
+        baseline = self._sweep(small_hg)
+        full = tmp_path / "full.jsonl"
+        self._sweep(small_hg, full)
+        partial = tmp_path / "partial.jsonl"
+        partial.write_text(
+            "\n".join(full.read_text().splitlines()[:3]) + "\n")
+
+        calls = []
+
+        def counting(hg, s):
+            calls.append(s)
+            return fm_bipartition(hg, seed=s)
+
+        resumed = self._sweep(small_hg, partial,
+                              algorithm=Algorithm("FM", counting))
+        assert len(calls) == self.RUNS - 2  # two starts came from disk
+        assert resumed["small"]["FM"].cuts == baseline["small"]["FM"].cuts
+
+    def test_killed_sweep_resumes_exactly(self, small_hg, tmp_path):
+        """A KeyboardInterrupt mid-sweep loses nothing already flushed;
+        resuming reproduces the uninterrupted sweep's cuts."""
+        baseline = self._sweep(small_hg)
+        path = tmp_path / "killed.jsonl"
+        calls = []
+
+        def killer(hg, s):
+            if len(calls) == 2:
+                raise KeyboardInterrupt
+            calls.append(s)
+            return fm_bipartition(hg, seed=s)
+
+        with pytest.raises(KeyboardInterrupt):
+            self._sweep(small_hg, path, algorithm=Algorithm("FM", killer))
+        resumed = self._sweep(small_hg, path)
+        assert resumed["small"]["FM"].cuts == baseline["small"]["FM"].cuts
+
+    def test_mismatched_config_refused(self, small_hg, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        self._sweep(small_hg, path)
+        with pytest.raises(CheckpointError, match="runs"):
+            run_matrix([_fm()], [small_hg], runs=self.RUNS + 1, seed=11,
+                       checkpoint=path)
+
+    def test_truncated_final_line_tolerated(self, small_hg, tmp_path):
+        """The signature of a kill -9 mid-write: the partial trailing
+        record is dropped, everything before it is kept."""
+        path = tmp_path / "sweep.jsonl"
+        self._sweep(small_hg, path)
+        with open(path, "a") as fh:
+            fh.write('{"kind": "record", "circ')
+        resumed = self._sweep(small_hg, path)
+        assert resumed["small"]["FM"].cuts \
+            == self._sweep(small_hg)["small"]["FM"].cuts
+
+    def test_corruption_mid_file_refused(self, small_hg, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        self._sweep(small_hg, path)
+        lines = path.read_text().splitlines()
+        lines[2] = '{"kind": "rec'  # not the final line: real corruption
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            self._sweep(small_hg, path)
+
+    def test_finished_starts_counter(self, small_hg, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        self._sweep(small_hg, path)
+        with MatrixCheckpoint(path, seed=11, runs=self.RUNS,
+                              algorithms=["FM"],
+                              circuits=["small"]) as ckpt:
+            assert ckpt.resumed
+            assert ckpt.finished_starts == self.RUNS
+            assert sorted(ckpt.done("small", "FM")) \
+                == list(range(self.RUNS))

@@ -4,8 +4,9 @@ import pytest
 
 from repro.errors import ParseError
 from repro.hypergraph import (Hypergraph, assert_same_structure,
-                              hierarchical_circuit, read_hmetis, read_json,
-                              write_hmetis, write_json)
+                              hierarchical_circuit, read_are, read_hmetis,
+                              read_json, read_netd, write_hmetis,
+                              write_json)
 
 
 class TestHmetisRead:
@@ -121,4 +122,130 @@ class TestRoundtrips:
         path = tmp_path / "bad.json"
         path.write_text("{nope")
         with pytest.raises(ParseError, match="invalid JSON"):
+            read_json(path)
+
+
+_NETD = """\
+0
+4
+2
+3
+0
+a0 s B
+a1 l B
+a1 s B
+a2 l B
+"""
+
+
+class TestNetdNegative:
+    """Malformed netD inputs must surface as ParseError, never as a
+    raw KeyError/ValueError from deep inside the builder."""
+
+    def _write(self, tmp_path, text):
+        path = tmp_path / "c.netD"
+        path.write_text(text)
+        return path
+
+    def test_valid_baseline_parses(self, tmp_path):
+        hg = read_netd(self._write(tmp_path, _NETD))
+        assert hg.num_modules == 3
+        assert hg.num_nets == 2
+
+    def test_too_few_header_lines(self, tmp_path):
+        with pytest.raises(ParseError, match="5 header lines"):
+            read_netd(self._write(tmp_path, "0\n4\n2\n"))
+
+    def test_non_integer_header(self, tmp_path):
+        bad = _NETD.replace("\n4\n", "\nx\n", 1)
+        with pytest.raises(ParseError, match="non-integer header"):
+            read_netd(self._write(tmp_path, bad))
+
+    def test_bad_pin_marker(self, tmp_path):
+        bad = _NETD.replace("a1 l B", "a1 x B", 1)
+        with pytest.raises(ParseError, match="marker"):
+            read_netd(self._write(tmp_path, bad))
+
+    def test_missing_marker_column(self, tmp_path):
+        bad = _NETD.replace("a1 l B", "a1", 1)
+        with pytest.raises(ParseError, match="expected '<name> <s"):
+            read_netd(self._write(tmp_path, bad))
+
+    def test_continuation_before_any_net(self, tmp_path):
+        bad = _NETD.replace("a0 s B", "a0 l B", 1)
+        with pytest.raises(ParseError, match="continuation pin"):
+            read_netd(self._write(tmp_path, bad))
+
+    def test_pin_count_mismatch(self, tmp_path):
+        bad = _NETD.replace("\n4\n", "\n5\n", 1)
+        with pytest.raises(ParseError, match="5 pins"):
+            read_netd(self._write(tmp_path, bad))
+
+    def test_net_count_mismatch(self, tmp_path):
+        bad = _NETD.replace("\n2\n3\n", "\n3\n3\n", 1)
+        with pytest.raises(ParseError, match="declares 3 nets"):
+            read_netd(self._write(tmp_path, bad))
+
+    def test_module_count_exceeded(self, tmp_path):
+        bad = _NETD.replace("\n3\n0\n", "\n2\n0\n", 1)
+        with pytest.raises(ParseError, match="declares 2 modules"):
+            read_netd(self._write(tmp_path, bad))
+
+
+class TestAreNegative:
+    def test_wrong_column_count(self, tmp_path):
+        path = tmp_path / "c.are"
+        path.write_text("a0 1 extra\n")
+        with pytest.raises(ParseError, match="<name> <area>"):
+            read_are(path)
+
+    def test_non_numeric_area(self, tmp_path):
+        path = tmp_path / "c.are"
+        path.write_text("a0 big\n")
+        with pytest.raises(ParseError, match="non-numeric"):
+            read_are(path)
+
+    def test_non_positive_area(self, tmp_path):
+        path = tmp_path / "c.are"
+        path.write_text("a0 0\n")
+        with pytest.raises(ParseError, match="non-positive"):
+            read_are(path)
+
+
+class TestJsonNegative:
+    """read_json wraps *every* malformed-input failure as ParseError —
+    the CLI error contract for this format matches hMETIS and netD."""
+
+    def _write(self, tmp_path, text):
+        path = tmp_path / "bad.json"
+        path.write_text(text)
+        return path
+
+    def test_syntax_error_carries_line_number(self, tmp_path):
+        path = self._write(tmp_path,
+                           '{\n  "num_modules": 2,\n  nope\n}')
+        with pytest.raises(ParseError, match="line 3") as excinfo:
+            read_json(path)
+        assert excinfo.value.line == 3
+
+    def test_non_object_top_level(self, tmp_path):
+        with pytest.raises(ParseError, match="must be an object"):
+            read_json(self._write(tmp_path, "[1, 2, 3]"))
+
+    def test_nets_not_a_list(self, tmp_path):
+        path = self._write(tmp_path, '{"num_modules": 2, "nets": 5}')
+        with pytest.raises(ParseError, match="malformed netlist JSON"):
+            read_json(path)
+
+    def test_pin_out_of_range(self, tmp_path):
+        path = self._write(tmp_path,
+                           '{"num_modules": 2, "nets": [[0, 5]]}')
+        with pytest.raises(ParseError):
+            read_json(path)
+
+    def test_mismatched_weight_vector(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            '{"num_modules": 2, "nets": [[0, 1]], "net_weights": [1, 2]}')
+        with pytest.raises(ParseError):
             read_json(path)

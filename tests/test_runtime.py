@@ -1,6 +1,8 @@
 """Tests for the parallel multi-start runtime subsystem."""
 
 import copy
+import multiprocessing
+import os
 import time
 
 import pytest
@@ -114,6 +116,111 @@ class TestFaultIsolation:
         assert outcome.runs == 2
         assert all(r.status == STATUS_TIMEOUT for r in outcome.records)
         assert outcome.wall_seconds < 20  # the sweep did not wait them out
+
+
+class TestExecutorFaultPaths:
+    """The previously untested executor fault paths: dying, hanging,
+    and never-returning workers."""
+
+    @pytest.mark.parallel
+    def test_dead_worker_recorded_failed_pool_survives(self, medium_hg):
+        """A worker that os._exits mid-task is detected through the
+        start-notice channel and recorded as a (retryable) failure; the
+        pool respawns a replacement and the sweep completes."""
+        def die_on_even_seed(hg, s):
+            if s % 2 == 0:
+                os._exit(3)
+            return fm_bipartition(hg, seed=s)
+
+        outcome = execute(
+            Portfolio(Algorithm("DIE", die_on_even_seed), medium_hg,
+                      runs=6, seed=0),
+            jobs=2)
+        assert outcome.runs == 6  # every start accounted for
+        dead = [r for r in outcome.records if r.status == STATUS_FAILED]
+        alive = [r for r in outcome.records if r.ok]
+        assert dead and alive
+        for record in dead:
+            assert record.seed % 2 == 0
+            assert "died before returning" in record.error
+            assert record.cut is None
+        assert all(r.seed % 2 == 1 for r in alive)
+
+    @pytest.mark.parallel
+    def test_dead_worker_is_retried(self, medium_hg):
+        """Worker death is a *failure*, so retries apply — unlike a
+        timeout.  A start that dies once and then runs clean recovers."""
+        flag = multiprocessing.get_context("fork").Value("i", 0)
+
+        def die_once(hg, s):
+            with flag.get_lock():
+                first = flag.value == 0
+                flag.value = 1
+            if first:
+                os._exit(3)
+            return fm_bipartition(hg, seed=s)
+
+        outcome = execute(
+            Portfolio(Algorithm("DIE1", die_once), medium_hg, runs=2,
+                      seed=0, retries=1),
+            jobs=2)
+        assert all(r.ok for r in outcome.records)
+        assert max(r.attempts for r in outcome.records) == 2
+
+    @pytest.mark.parallel
+    def test_hung_worker_not_retried_even_with_retries(self, medium_hg):
+        """Timeouts are never retried (a hung worker already cost a
+        pool slot); the pool is terminated instead of waited out."""
+        def hang(hg, s):
+            time.sleep(30)
+
+        t0 = time.perf_counter()
+        outcome = execute(
+            Portfolio(Algorithm("HANG", hang), medium_hg, runs=2, seed=0,
+                      budget_seconds=0.5, retries=3),
+            jobs=2)
+        elapsed = time.perf_counter() - t0
+        assert all(r.status == STATUS_TIMEOUT for r in outcome.records)
+        assert all(r.attempts == 1 for r in outcome.records)
+        assert elapsed < 20
+
+    def test_collect_deadline_finite_without_budget(self, medium_hg,
+                                                    monkeypatch):
+        """With budget_seconds=None the collector still bounds its wait
+        (DEFAULT_COLLECT_TIMEOUT) — a hung worker can delay a sweep but
+        never wedge it — and the deadline runs from collection start,
+        not task dispatch."""
+        import repro.runtime.executor as executor_module
+        monkeypatch.setattr(executor_module, "DEFAULT_COLLECT_TIMEOUT", 0.2)
+
+        class NeverReturns:
+            def get(self, timeout):
+                time.sleep(timeout)
+                raise multiprocessing.TimeoutError
+
+        portfolio = Portfolio(_fm(), medium_hg, runs=1, seed=0)
+        assert portfolio.budget_seconds is None
+        record = ProcessExecutor._collect(portfolio, NeverReturns(), 0, 99,
+                                          1, {})
+        assert record.status == STATUS_TIMEOUT
+        assert not record.retryable
+        assert "0.2s of collection" in record.error
+        assert "collection start, not task dispatch" in record.error
+
+    def test_collect_deadline_uses_budget(self, medium_hg):
+        """An explicit budget overrides the default collection bound."""
+        class NeverReturns:
+            def get(self, timeout):
+                time.sleep(timeout)
+                raise multiprocessing.TimeoutError
+
+        portfolio = Portfolio(_fm(), medium_hg, runs=1, seed=0,
+                              budget_seconds=0.2)
+        t0 = time.perf_counter()
+        record = ProcessExecutor._collect(portfolio, NeverReturns(), 0, 99,
+                                          1, {})
+        assert record.status == STATUS_TIMEOUT
+        assert time.perf_counter() - t0 < 5.0
 
 
 class TestHierarchyReuse:
