@@ -18,6 +18,14 @@ Examples::
     repro partition s9234.hgr --runs 20 --verify \
         --inject-faults rate=0.1,seed=7 --retries 2 --min-ok-fraction 0.5
     repro partition s9234.hgr -k 4 --algorithm mlf --output parts.txt
+    repro partition s9234.hgr --runs 10 --jobs 4 --trace run.trace.jsonl
+    repro trace-summary run.trace.jsonl
+
+Every subcommand accepts ``-v``/``-vv`` (or ``--log-level LEVEL``) to
+raise the verbosity of the ``repro.*`` logging hierarchy, which is
+quiet by default.  ``--trace FILE`` (on ``partition``/``bench``) writes
+a Chrome trace-event stream loadable in Perfetto or chrome://tracing;
+``--metrics-out FILE`` writes Prometheus-format metrics.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from .hypergraph import (Hypergraph, benchmark_names, compute_stats,
                          load_circuit, read_hmetis, read_json,
                          write_hmetis, write_json)
 from .harness.runner import Algorithm
+from .obs import configure_logging
 from .partition import (BalanceConstraint, cut, read_assignment,
                         summarize, write_assignment)
 from .runtime import Portfolio, execute
@@ -135,8 +144,22 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     portfolio = Portfolio(algorithm=algorithm, hg=hg, runs=args.runs,
                           seed=args.seed, budget_seconds=args.budget,
                           retries=args.retries, keep_results=True,
-                          faults=faults, verify=verify)
-    outcome = execute(portfolio, jobs=args.jobs)
+                          faults=faults, verify=verify, trace=args.trace)
+    registry = None
+    if args.metrics_out:
+        from .obs import collecting_metrics
+        with collecting_metrics() as registry:
+            outcome = execute(portfolio, jobs=args.jobs)
+    else:
+        outcome = execute(portfolio, jobs=args.jobs)
+    if registry is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as f:
+            f.write(registry.render_prometheus())
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if args.trace:
+        print(f"trace written to {args.trace} (load in Perfetto or "
+              "chrome://tracing, or run 'repro trace-summary')",
+              file=sys.stderr)
     outcome.require_quorum(args.min_ok_fraction)
     if not outcome.ok_records:
         raise ReproError(
@@ -230,7 +253,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                                                seed=args.seed,
                                                jobs=args.jobs),
     }
-    print(generators[args.table]().render())
+    from contextlib import ExitStack
+    with ExitStack() as stack:
+        registry = None
+        if args.trace:
+            from .obs import tracing
+            stack.enter_context(tracing(args.trace))
+        if args.metrics_out:
+            from .obs import collecting_metrics
+            registry = stack.enter_context(collecting_metrics())
+        rendered = generators[args.table]().render()
+    print(rendered)
+    if registry is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as f:
+            f.write(registry.render_prometheus())
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    from .obs import summarize_trace
+    print(summarize_trace(args.trace).render())
     return 0
 
 
@@ -239,13 +284,23 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Multilevel circuit partitioning "
                     "(Alpert/Huang/Kahng 1997 reproduction)")
+    # Logging flags are shared by every subcommand (so they can be
+    # written after the subcommand name, where users expect them).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("-v", "--verbose", action="count", default=0,
+                        help="raise repro.* log verbosity (-v info, "
+                             "-vv debug; default: warnings only)")
+    common.add_argument("--log-level", default=None, metavar="LEVEL",
+                        help="explicit log level name (DEBUG, INFO, ...); "
+                             "overrides -v")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_info = sub.add_parser("info", help="print netlist characteristics")
+    p_info = sub.add_parser("info", parents=[common],
+                            help="print netlist characteristics")
     p_info.add_argument("file")
     p_info.set_defaults(fn=_cmd_info)
 
-    p_gen = sub.add_parser("generate",
+    p_gen = sub.add_parser("generate", parents=[common],
                            help="generate a synthetic suite circuit")
     p_gen.add_argument("name", choices=benchmark_names())
     p_gen.add_argument("--scale", type=float, default=1.0)
@@ -254,7 +309,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output path (.hgr or .json)")
     p_gen.set_defaults(fn=_cmd_generate)
 
-    p_part = sub.add_parser("partition", help="partition a netlist")
+    p_part = sub.add_parser("partition", parents=[common],
+                            help="partition a netlist")
     p_part.add_argument("file")
     p_part.add_argument("--algorithm", choices=ALGORITHMS, default="mlc")
     p_part.add_argument("-k", type=int, default=2,
@@ -294,10 +350,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "repro.faults.FaultPlan.parse)")
     p_part.add_argument("--output", default=None,
                         help="write the per-module part assignment here")
+    p_part.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace-event stream of the "
+                             "whole run (all workers) to FILE")
+    p_part.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write Prometheus-format metrics to FILE "
+                             "after the run")
     p_part.set_defaults(fn=_cmd_partition)
 
     p_eval = sub.add_parser(
-        "evaluate", help="score an existing partition assignment")
+        "evaluate", parents=[common],
+        help="score an existing partition assignment")
     p_eval.add_argument("file", help="the netlist (.hgr/.json)")
     p_eval.add_argument("assignment",
                         help="one part id per line, one line per module")
@@ -305,7 +368,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.set_defaults(fn=_cmd_evaluate)
 
     p_bench = sub.add_parser(
-        "bench", help="regenerate one of the paper's tables/figures")
+        "bench", parents=[common],
+        help="regenerate one of the paper's tables/figures")
     p_bench.add_argument("table",
                          choices=["1", "2", "3", "4", "5", "6", "7", "8",
                                   "9", "fig4"])
@@ -314,13 +378,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("-j", "--jobs", type=int, default=1,
                          help="worker processes per table cell")
+    p_bench.add_argument("--trace", metavar="FILE", default=None,
+                         help="write a Chrome trace-event stream of the "
+                              "whole sweep to FILE")
+    p_bench.add_argument("--metrics-out", metavar="FILE", default=None,
+                         help="write Prometheus-format metrics to FILE")
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_tsum = sub.add_parser(
+        "trace-summary", parents=[common],
+        help="print per-phase time and cut breakdown of a trace file")
+    p_tsum.add_argument("trace", help="trace file written by --trace")
+    p_tsum.set_defaults(fn=_cmd_trace_summary)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(verbosity=getattr(args, "verbose", 0),
+                      level=getattr(args, "log_level", None))
     try:
         return args.fn(args)
     except ReproError as exc:

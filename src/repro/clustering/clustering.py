@@ -99,6 +99,18 @@ class Clustering:
             sizes[c] += 1
         return max(sizes)
 
+    def matched_fraction(self) -> float:
+        """Achieved matching ratio ``nMatch / |V|`` of a pairing.
+
+        ``Match`` only ever merges modules two at a time, so each of
+        the ``|V| - k`` merges accounts for two matched modules; the
+        remainder are singletons.  This is the quantity the ratio
+        ``R`` bounds (Figure 3) and what the coarsening trace reports
+        per level.
+        """
+        return 2.0 * (self.num_modules - self.num_clusters) \
+            / self.num_modules
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Clustering(modules={self.num_modules}, "
                 f"clusters={self.num_clusters})")

@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 from ..clustering import Clustering, induce, match
 from ..errors import ClusteringError
 from ..hypergraph import Hypergraph
+from ..obs import tracer
 from ..partition import Partition, cut
 from ..rng import SeedLike, make_rng, spawn
 from ..fm.clip import clip_bipartition  # noqa: F401  (re-export convenience)
@@ -86,17 +87,37 @@ def build_hierarchy(hg: Hypergraph, config: Optional[MLConfig] = None,
     config = config or MLConfig()
     base = rng if rng is not None else make_rng(seed)
     rng = spawn(base)
+    tr = tracer()
+    t_all = tr.begin() if tr.enabled else 0
     netlists = [hg]
     clusterings: List[Clustering] = []
     while (netlists[-1].num_modules > config.coarsening_threshold
            and len(clusterings) < config.max_levels):
         current = netlists[-1]
+        t_level = tr.now() if tr.enabled else 0
         clustering = match(current, ratio=config.matching_ratio,
                            scheme=config.matching_scheme, rng=rng)
         if clustering.num_clusters >= current.num_modules:
             break  # no progress: all modules became singletons
         netlists.append(induce(current, clustering))
         clusterings.append(clustering)
+        if tr.enabled:
+            coarse = netlists[-1]
+            tr.complete("coarsen.level", t_level, {
+                "level": len(clusterings),
+                "modules": current.num_modules,
+                "coarse_modules": coarse.num_modules,
+                "nets": coarse.num_nets,
+                "pins": coarse.num_pins,
+                "achieved_ratio": round(clustering.matched_fraction(), 4),
+            })
+    if tr.enabled:
+        tr.end("ml.coarsen", t_all, {
+            "levels": len(clusterings),
+            "modules": hg.num_modules,
+            "coarsest_modules": netlists[-1].num_modules,
+            "target_ratio": config.matching_ratio,
+        })
     return Hierarchy(netlists=netlists, clusterings=clusterings)
 
 
@@ -124,6 +145,8 @@ def ml_bipartition(hg: Hypergraph,
     if hg.num_modules < 2:
         raise ClusteringError("cannot bipartition fewer than two modules")
     fm_config = config.engine_config()
+    tr = tracer()
+    t_run = tr.begin() if tr.enabled else 0
 
     if hierarchy is None:
         hierarchy = build_hierarchy(hg, config, rng=rng)
@@ -137,6 +160,7 @@ def ml_bipartition(hg: Hypergraph,
 
     # Step 6: initial partitioning of the coarsest netlist — optionally
     # several independent starts, keeping the best (Section V).
+    t_phase = tr.begin() if tr.enabled else 0
     result = fm_bipartition(hierarchy.coarsest, initial=None,
                             config=fm_config, rng=rng)
     total_passes = result.passes
@@ -147,19 +171,39 @@ def ml_bipartition(hg: Hypergraph,
         if attempt.cut < result.cut:
             result = attempt
     level_cuts = [result.cut]
+    if tr.enabled:
+        tr.end("ml.initial", t_phase, {
+            "modules": hierarchy.coarsest.num_modules,
+            "starts": config.coarsest_starts, "cut": result.cut,
+        })
 
     # Steps 7-9: project and refine, coarsest-to-finest.
     solution = result.partition
     for i in range(hierarchy.levels - 1, -1, -1):
+        t_phase = tr.begin() if tr.enabled else 0
         projected = project(solution, hierarchy.clusterings[i])
         result = fm_bipartition(hierarchy.netlists[i], initial=projected,
                                 config=fm_config, rng=rng)
         solution = result.partition
         level_cuts.append(result.cut)
         total_passes += result.passes
+        if tr.enabled:
+            tr.end("ml.refine.level", t_phase, {
+                "level": i,
+                "modules": hierarchy.netlists[i].num_modules,
+                "cut": result.cut, "passes": result.passes,
+            })
 
+    final_cut = cut(hg, solution)
+    if tr.enabled:
+        tr.end("ml.bipartition", t_run, {
+            "modules": hg.num_modules, "nets": hg.num_nets,
+            "engine": config.engine, "ratio": config.matching_ratio,
+            "levels": hierarchy.levels, "cut": final_cut,
+            "passes": total_passes,
+        })
     return MLResult(partition=solution,
-                    cut=cut(hg, solution),
+                    cut=final_cut,
                     levels=hierarchy.levels,
                     level_sizes=hierarchy.module_counts(),
                     level_cuts=level_cuts,

@@ -18,6 +18,7 @@ from ..clustering import Clustering, induce, match
 from ..clustering.project import project
 from ..errors import ClusteringError, ConfigError
 from ..hypergraph import Hypergraph
+from ..obs import tracer
 from ..partition import Partition, cut
 from ..rng import SeedLike, make_rng
 from ..fm.engine import fm_bipartition
@@ -100,13 +101,20 @@ def ml_vcycle(hg: Hypergraph,
             raise ConfigError("ml_vcycle refines bipartitions (k=2)")
         best_partition, best_cut = initial, cut(hg, initial)
 
+    tr = tracer()
     cycle_cuts = [best_cut]
-    for _ in range(cycles):
+    for i in range(cycles):
+        t_cycle = tr.begin() if tr.enabled else 0
         candidate = _restricted_cycle(hg, best_partition, config, rng)
         candidate_cut = cut(hg, candidate)
         cycle_cuts.append(candidate_cut)
         if candidate_cut < best_cut:
             best_cut = candidate_cut
             best_partition = candidate
+        if tr.enabled:
+            tr.end("vcycle.cycle", t_cycle, {
+                "cycle": i + 1, "cut": candidate_cut,
+                "best_cut": best_cut, "modules": hg.num_modules,
+            })
     return VCycleResult(partition=best_partition, cut=best_cut,
                         cycles=cycles, cycle_cuts=cycle_cuts)

@@ -28,12 +28,14 @@ identical RNG draws), which the golden-cut tests pin.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import PartitionError
 from ..hypergraph import Hypergraph
-from ..kernels import csr_enabled
+from ..kernels import csr_enabled, kernel_mode
+from ..obs import metrics, tracer
 from ..partition import (BalanceConstraint, Partition, PartitionState, cut,
                          random_partition)
 from ..partition.rebalance import rebalance_random
@@ -923,6 +925,13 @@ def fm_bipartition(hg: Hypergraph,
     """
     config = config or FMConfig()
     rng = rng if rng is not None else make_rng(seed)
+    # Observability: sampled once per call; per-pass event construction
+    # is guarded so dormant instrumentation costs only these reads.
+    tr = tracer()
+    trace_on = tr.enabled
+    mx = metrics()
+    t_run = tr.begin() if trace_on else 0
+    wall0 = time.perf_counter() if mx.enabled else 0.0
     if balance is None:
         balance = BalanceConstraint.from_tolerance(hg, config.tolerance, k=2)
 
@@ -966,6 +975,7 @@ def fm_bipartition(hg: Hypergraph,
 
     while passes < max_passes:
         passes += 1
+        t_pass = tr.now() if trace_on else 0
         buckets = make_buckets(hg.num_modules, bucket_range,
                                config.bucket_policy, rng)
 
@@ -1029,6 +1039,10 @@ def fm_bipartition(hg: Hypergraph,
                         if active[e]:
                             locked_counts[side][e] += 1
 
+        if trace_on:
+            bucket_inserts = len(buckets)
+            cut_before = state.cut_weight
+
         moves, best_index = move_loop(state, buckets, gains, locked,
                                       locked_counts, config, areas,
                                       lower, upper)
@@ -1043,13 +1057,48 @@ def fm_bipartition(hg: Hypergraph,
                 state.move(v, original)
         pass_cuts.append(state.cut_weight)
 
+        if trace_on:
+            # Every counter here is a pure function of the (identical)
+            # move sequence, so the per-pass telemetry is bit-equal
+            # between the reference and CSR kernel families.
+            tr.complete("fm.pass", t_pass, {
+                "pass": passes,
+                "moves_attempted": len(moves),
+                "moves_committed": best_index,
+                "rollback_depth": len(moves) - best_index,
+                "bucket_inserts": bucket_inserts,
+                "bucket_ops": bucket_inserts + len(moves),
+                "cut_before": cut_before,
+                "cut_after": state.cut_weight,
+                "gain": cut_before - state.cut_weight,
+            })
+
         if state.cut_weight >= best_overall:
             break
         best_overall = state.cut_weight
 
     final = state.to_partition()
+    final_cut = cut(hg, final)
+    if trace_on:
+        tr.end("fm.run", t_run, {
+            "modules": hg.num_modules, "mode": kernel_mode(),
+            "clip": config.clip, "passes": passes,
+            "moves": total_moves, "initial_cut": initial_cut,
+            "cut": final_cut,
+        })
+    if mx.enabled:
+        mode = kernel_mode()
+        mx.counter("repro_fm_runs_total",
+                   "FM engine invocations", mode=mode).inc()
+        mx.counter("repro_fm_passes_total",
+                   "FM passes executed", mode=mode).inc(passes)
+        mx.counter("repro_fm_moves_total",
+                   "FM moves attempted", mode=mode).inc(total_moves)
+        mx.histogram("repro_fm_run_seconds",
+                     "Wall time of one FM invocation",
+                     mode=mode).observe(time.perf_counter() - wall0)
     return FMResult(partition=final,
-                    cut=cut(hg, final),
+                    cut=final_cut,
                     internal_cut=state.cut_weight,
                     initial_cut=initial_cut,
                     passes=passes,

@@ -26,6 +26,7 @@ finished (cell, start) pairs.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from statistics import mean, pstdev
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -78,6 +79,22 @@ class CellStats:
     def elapsed_seconds(self) -> float:
         """Deprecated alias for :attr:`wall_seconds` (the quantity the
         pre-runtime ``cpu_seconds`` actually measured)."""
+        warnings.warn(
+            "CellStats.elapsed_seconds is deprecated; use wall_seconds",
+            DeprecationWarning, stacklevel=2)
+        return self.wall_seconds
+
+    @property
+    def cpu_time(self) -> float:
+        """Deprecated alias for :attr:`wall_seconds`.
+
+        Historically the harness's "cpu time" column held wall clock;
+        genuine CPU time lives in :attr:`cpu_seconds`.
+        """
+        warnings.warn(
+            "CellStats.cpu_time is deprecated; use wall_seconds "
+            "(wall clock) or cpu_seconds (CPU time)",
+            DeprecationWarning, stacklevel=2)
         return self.wall_seconds
 
     @property
@@ -116,7 +133,9 @@ def run_cell(algorithm: Algorithm, hg: Hypergraph, runs: int,
              min_ok_fraction: Optional[float] = None,
              backoff_seconds: float = 0.0,
              completed=None,
-             on_record=None) -> CellStats:
+             on_record=None,
+             trace: Union[None, bool, str] = None,
+             metrics_out: Optional[str] = None) -> CellStats:
     """Run one algorithm ``runs`` times on one circuit.
 
     ``jobs``/``executor`` select the runtime executor (see
@@ -133,6 +152,12 @@ def run_cell(algorithm: Algorithm, hg: Hypergraph, runs: int,
     :func:`run_matrix`).  Defaults reproduce the original serial
     semantics, except that a raising run is recorded as a failure
     instead of aborting the sweep.
+
+    ``trace`` writes the cell's Chrome trace-event stream to a path
+    (or, with ``True``, emits into the ambient tracer); ``metrics_out``
+    writes the cell's metrics in the Prometheus text format after the
+    run.  Neither touches the RNG streams, so the cut statistics are
+    unchanged by either.
     """
     if runs < 1:
         raise ConfigError(f"runs must be >= 1, got {runs}")
@@ -140,9 +165,17 @@ def run_cell(algorithm: Algorithm, hg: Hypergraph, runs: int,
     portfolio = Portfolio(algorithm=algorithm, hg=hg, runs=runs, seed=seed,
                           budget_seconds=budget_seconds, retries=retries,
                           faults=faults, verify=verify,
-                          backoff_seconds=backoff_seconds)
-    outcome = execute(portfolio, jobs=jobs, executor=executor,
-                      completed=completed, on_record=on_record)
+                          backoff_seconds=backoff_seconds, trace=trace)
+    if metrics_out is not None:
+        from ..obs import collecting_metrics
+        with collecting_metrics() as registry:
+            outcome = execute(portfolio, jobs=jobs, executor=executor,
+                              completed=completed, on_record=on_record)
+        with open(metrics_out, "w", encoding="utf-8") as f:
+            f.write(registry.render_prometheus())
+    else:
+        outcome = execute(portfolio, jobs=jobs, executor=executor,
+                          completed=completed, on_record=on_record)
     return outcome.require_quorum(min_ok_fraction).to_cell_stats()
 
 
@@ -157,7 +190,9 @@ def run_matrix(algorithms: Sequence[Algorithm],
                verify: Union[bool, float] = False,
                min_ok_fraction: Optional[float] = None,
                backoff_seconds: float = 0.0,
-               checkpoint=None
+               checkpoint=None,
+               trace: Union[None, bool, str] = None,
+               metrics_out: Optional[str] = None
                ) -> Dict[str, Dict[str, CellStats]]:
     """Sweep ``algorithms x circuits``; result[circuit][algorithm].
 
@@ -176,7 +211,13 @@ def run_matrix(algorithms: Sequence[Algorithm],
     configuration is refused (:class:`~repro.errors.CheckpointError`).
     ``faults``/``verify``/``min_ok_fraction``/``backoff_seconds`` are
     threaded through to every cell (see :func:`run_cell`).
+
+    ``trace`` writes one merged Chrome trace-event stream covering the
+    *whole* sweep (a path, or ``True`` for the ambient tracer);
+    ``metrics_out`` writes the sweep's metrics in the Prometheus text
+    format after the last cell.
     """
+    from contextlib import ExitStack
     ckpt = None
     if checkpoint is not None:
         from ..runtime import MatrixCheckpoint
@@ -185,25 +226,39 @@ def run_matrix(algorithms: Sequence[Algorithm],
             algorithms=[a.name for a in algorithms],
             circuits=[hg.name for hg in circuits])
     try:
-        table: Dict[str, Dict[str, CellStats]] = {}
-        for hg in circuits:
-            row: Dict[str, CellStats] = {}
-            for algorithm in algorithms:
-                cell_seed = stable_seed(str(seed), hg.name, algorithm.name)
-                completed = on_record = None
-                if ckpt is not None:
-                    completed = ckpt.done(hg.name, algorithm.name)
-                    on_record = (
-                        lambda record, c=hg.name, a=algorithm.name:
-                        ckpt.write(c, a, record))
-                row[algorithm.name] = run_cell(
-                    algorithm, hg, runs, cell_seed, jobs=jobs,
-                    budget_seconds=budget_seconds, retries=retries,
-                    faults=faults, verify=verify,
-                    min_ok_fraction=min_ok_fraction,
-                    backoff_seconds=backoff_seconds,
-                    completed=completed, on_record=on_record)
-            table[hg.name] = row
+        with ExitStack() as stack:
+            registry = None
+            if isinstance(trace, str):
+                from ..obs import tracing
+                stack.enter_context(tracing(trace))
+                trace = True  # cells emit into the now-ambient writer
+            if metrics_out is not None:
+                from ..obs import collecting_metrics
+                registry = stack.enter_context(collecting_metrics())
+            table: Dict[str, Dict[str, CellStats]] = {}
+            for hg in circuits:
+                row: Dict[str, CellStats] = {}
+                for algorithm in algorithms:
+                    cell_seed = stable_seed(str(seed), hg.name,
+                                            algorithm.name)
+                    completed = on_record = None
+                    if ckpt is not None:
+                        completed = ckpt.done(hg.name, algorithm.name)
+                        on_record = (
+                            lambda record, c=hg.name, a=algorithm.name:
+                            ckpt.write(c, a, record))
+                    row[algorithm.name] = run_cell(
+                        algorithm, hg, runs, cell_seed, jobs=jobs,
+                        budget_seconds=budget_seconds, retries=retries,
+                        faults=faults, verify=verify,
+                        min_ok_fraction=min_ok_fraction,
+                        backoff_seconds=backoff_seconds,
+                        completed=completed, on_record=on_record,
+                        trace=trace)
+                table[hg.name] = row
+        if registry is not None:
+            with open(metrics_out, "w", encoding="utf-8") as f:
+                f.write(registry.render_prometheus())
         return table
     finally:
         if ckpt is not None:

@@ -197,8 +197,15 @@ class Hypergraph:
         """
         view = self._csr
         if view is None:
+            from ..obs import tracer
+            tr = tracer()
+            t0 = tr.now() if tr.enabled else 0
             view = CSRIncidence(self)
             self._csr = view
+            if tr.enabled:
+                tr.complete("csr.build", t0, {
+                    "modules": view.num_modules, "nets": view.num_nets,
+                    "pins": view.num_pins})
         return view
 
     # ------------------------------------------------------------------

@@ -1,0 +1,70 @@
+"""The ``repro.*`` stdlib logging hierarchy.
+
+Library code logs through :func:`get_logger` — always a child of the
+``repro`` logger, which carries a ``NullHandler`` so the library is
+silent by default (the stdlib's recommended library posture).
+Applications and the CLI opt in with :func:`configure_logging`, which
+maps the ``-v`` count / ``--log-level`` name to a level and attaches
+one stderr handler to the ``repro`` root (idempotently, so repeated
+CLI invocations in one process don't stack handlers).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["get_logger", "configure_logging", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+_root = logging.getLogger(ROOT_LOGGER_NAME)
+_root.addHandler(logging.NullHandler())
+
+#: Verbosity count (``-v`` occurrences) to level.
+_VERBOSITY_LEVELS = {0: logging.WARNING, 1: logging.INFO}
+
+_HANDLER_MARK = "_repro_cli_handler"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return _root
+    if name.startswith(ROOT_LOGGER_NAME + ".") or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(verbosity: int = 0,
+                      level: Optional[str] = None,
+                      stream=None) -> logging.Logger:
+    """Route ``repro.*`` records to ``stream`` (default stderr).
+
+    ``level`` (a name like ``"debug"``) wins over ``verbosity``
+    (``0`` → WARNING, ``1`` → INFO, ``2+`` → DEBUG).
+    """
+    if level is not None:
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+    else:
+        resolved = _VERBOSITY_LEVELS.get(verbosity, logging.DEBUG)
+    handler = None
+    for existing in _root.handlers:
+        if getattr(existing, _HANDLER_MARK, False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s: %(message)s",
+            datefmt="%H:%M:%S"))
+        setattr(handler, _HANDLER_MARK, True)
+        _root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    _root.setLevel(resolved)
+    handler.setLevel(resolved)
+    return _root

@@ -1,0 +1,305 @@
+"""Metrics registry: counters, gauges, histograms; Prometheus output.
+
+Companion to :mod:`repro.obs.trace` with the same activation contract:
+the module-level singleton (:func:`metrics`) is a no-op until a real
+:class:`MetricsRegistry` is installed, and instrumented code guards
+collection behind its ``enabled`` flag, so dormant metric sites cost
+one attribute read.
+
+A registry renders to the Prometheus text exposition format
+(:meth:`MetricsRegistry.render_prometheus`) — the ``--metrics-out``
+CLI flag writes exactly that.  Worker processes of the parallel
+runtime collect into their own registry, ship a :meth:`snapshot` back
+on the result record, and the parent :meth:`merge`\\ s it: counters and
+histograms add, gauges keep the latest observation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "NoopMetrics", "metrics", "set_metrics", "collecting_metrics",
+           "DEFAULT_BUCKETS"]
+
+#: Default histogram buckets (seconds-oriented, log-ish spacing).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+                   60.0)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down; keeps the latest observation."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # trailing +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, upper in enumerate(self.buckets):
+            if value <= upper:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+
+class _NoopInstrument:
+    __slots__ = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NOOP_INSTRUMENT = _NoopInstrument()
+
+
+class NoopMetrics:
+    """The disabled registry: hands out shared no-op instruments."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "", **labels):
+        return _NOOP_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", **labels):
+        return _NOOP_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS, **labels):
+        return _NOOP_INSTRUMENT
+
+    def snapshot(self) -> Dict[str, object]:
+        return {}
+
+    def merge(self, snapshot: Optional[Dict[str, object]]) -> None:
+        pass
+
+    def render_prometheus(self) -> str:
+        return ""
+
+
+class _Family:
+    """One metric name: its type, help text, and per-label series."""
+
+    __slots__ = ("kind", "help", "buckets", "series")
+
+    def __init__(self, kind: str, help: str,
+                 buckets: Optional[Tuple[float, ...]] = None):
+        self.kind = kind
+        self.help = help
+        self.buckets = buckets
+        self.series: Dict[LabelKey, object] = {}
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms keyed by name and labels.
+
+    Instruments are created on first use and cached, so hot paths can
+    re-request them by name (a dict lookup) or hold on to the returned
+    object (an attribute bump).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    def _get(self, name: str, kind: str, help: str, factory, **labels):
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(kind, help)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}")
+        key = _label_key(labels)
+        instrument = family.series.get(key)
+        if instrument is None:
+            instrument = factory()
+            family.series[key] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get(name, "counter", help, Counter, **labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get(name, "gauge", help, Gauge, **labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        instrument = self._get(name, "histogram", help,
+                               lambda: Histogram(buckets), **labels)
+        return instrument
+
+    # -- cross-process aggregation -------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data view suitable for pickling across the pool."""
+        out: Dict[str, object] = {}
+        for name, family in self._families.items():
+            series = {}
+            for key, instrument in family.series.items():
+                if family.kind == "histogram":
+                    series[key] = {"buckets": instrument.buckets,
+                                   "counts": list(instrument.counts),
+                                   "sum": instrument.sum,
+                                   "count": instrument.count}
+                else:
+                    series[key] = instrument.value
+            out[name] = {"kind": family.kind, "help": family.help,
+                         "series": series}
+        return out
+
+    def merge(self, snapshot: Optional[Dict[str, object]]) -> None:
+        """Fold a worker's snapshot in: add counters/histograms,
+        overwrite gauges."""
+        if not snapshot:
+            return
+        for name, data in snapshot.items():
+            kind = data["kind"]
+            for key, value in data["series"].items():
+                labels = dict(key)
+                if kind == "counter":
+                    self.counter(name, data["help"], **labels).inc(value)
+                elif kind == "gauge":
+                    self.gauge(name, data["help"], **labels).set(value)
+                else:
+                    hist = self.histogram(name, data["help"],
+                                          buckets=tuple(value["buckets"]),
+                                          **labels)
+                    for i, c in enumerate(value["counts"]):
+                        hist.counts[i] += c
+                    hist.sum += value["sum"]
+                    hist.count += value["count"]
+
+    # -- exposition ----------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format."""
+        lines: List[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key in sorted(family.series):
+                instrument = family.series[key]
+                if family.kind == "histogram":
+                    cumulative = 0
+                    for upper, count in zip(instrument.buckets,
+                                            instrument.counts):
+                        cumulative += count
+                        le = _label_key(dict(key, le=_fmt(upper)))
+                        lines.append(f"{name}_bucket{_format_labels(le)} "
+                                     f"{cumulative}")
+                    le = _label_key(dict(key, le="+Inf"))
+                    lines.append(f"{name}_bucket{_format_labels(le)} "
+                                 f"{instrument.count}")
+                    lines.append(f"{name}_sum{_format_labels(key)} "
+                                 f"{_fmt(instrument.sum)}")
+                    lines.append(f"{name}_count{_format_labels(key)} "
+                                 f"{instrument.count}")
+                else:
+                    lines.append(f"{name}{_format_labels(key)} "
+                                 f"{_fmt(instrument.value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: Union[int, float]) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+# -- the module-level singleton ----------------------------------------
+
+_NOOP = NoopMetrics()
+_active: Union[NoopMetrics, MetricsRegistry] = _NOOP
+
+
+def metrics() -> Union[NoopMetrics, MetricsRegistry]:
+    """The active registry; a no-op singleton unless collection is on."""
+    return _active
+
+
+def set_metrics(registry: Optional[Union[NoopMetrics, MetricsRegistry]]
+                ) -> Union[NoopMetrics, MetricsRegistry]:
+    """Install ``registry`` (``None`` disables); returns the previous."""
+    global _active
+    previous = _active
+    _active = registry if registry is not None else _NOOP
+    return previous
+
+
+class collecting_metrics:
+    """Context manager: collect metrics inside into a fresh registry.
+
+    Yields the registry (so the caller can render it after the block);
+    restores the previous singleton on exit.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self._previous: Optional[object] = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = set_metrics(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc) -> bool:
+        set_metrics(self._previous)
+        return False

@@ -1,0 +1,129 @@
+"""Aggregate a trace file into a per-phase time/cut breakdown.
+
+Backs the ``repro trace-summary`` CLI subcommand: reads a trace
+written by :class:`~repro.obs.trace.JsonlTraceWriter` (possibly merged
+from many worker processes) and reduces it to the questions the
+paper's tables ask — where did the wall clock go, phase by phase, and
+how did the cut evolve level by level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Dict, List, Optional
+
+from .trace import read_trace
+
+__all__ = ["PhaseStats", "TraceSummary", "summarize_trace"]
+
+
+@dataclass
+class PhaseStats:
+    """All spans of one name, folded."""
+
+    name: str
+    count: int = 0
+    total_us: int = 0
+    max_us: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.total_us / 1e6
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_us / self.count / 1e3 if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """The reduced trace: phase table plus per-level cut statistics."""
+
+    events: int = 0
+    processes: int = 0
+    span_seconds: float = 0.0
+    phases: Dict[str, PhaseStats] = field(default_factory=dict)
+    #: ``coarse modules at level`` -> cuts seen by refinement there.
+    level_cuts: Dict[int, List[int]] = field(default_factory=dict)
+    start_cuts: List[int] = field(default_factory=list)
+    instants: Dict[str, int] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [f"{self.events} events from {self.processes} process(es), "
+                 f"{self.span_seconds:.3f}s traced"]
+        if self.phases:
+            lines.append("")
+            lines.append(f"{'phase':<22} {'count':>7} {'total s':>9} "
+                         f"{'mean ms':>9} {'max ms':>9}")
+            ordered = sorted(self.phases.values(),
+                             key=lambda p: p.total_us, reverse=True)
+            for p in ordered:
+                lines.append(f"{p.name:<22} {p.count:>7} "
+                             f"{p.total_seconds:>9.3f} {p.mean_ms:>9.3f} "
+                             f"{p.max_us / 1e3:>9.3f}")
+        if self.instants:
+            lines.append("")
+            lines.append("events: " + ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.instants.items())))
+        if self.level_cuts:
+            lines.append("")
+            lines.append(f"cut by level ({'finest last'}):")
+            lines.append(f"{'modules':>9} {'spans':>7} {'min cut':>9} "
+                         f"{'mean cut':>10}")
+            for modules in sorted(self.level_cuts, reverse=True):
+                cuts = self.level_cuts[modules]
+                lines.append(f"{modules:>9} {len(cuts):>7} "
+                             f"{min(cuts):>9} {mean(cuts):>10.1f}")
+        if self.start_cuts:
+            lines.append("")
+            lines.append(
+                f"portfolio: {len(self.start_cuts)} finished start(s), "
+                f"min cut {min(self.start_cuts)}, "
+                f"mean cut {mean(self.start_cuts):.1f}")
+        return "\n".join(lines)
+
+
+def summarize_trace(path) -> TraceSummary:
+    """Reduce the trace at ``path`` to a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    pids = set()
+    t_min: Optional[int] = None
+    t_max: Optional[int] = None
+    for event in read_trace(path):
+        summary.events += 1
+        if "pid" in event:
+            pids.add(event["pid"])
+        ph = event.get("ph")
+        args = event.get("args") or {}
+        ts = event.get("ts")
+        if ph == "X":
+            name = str(event.get("name", "?"))
+            dur = int(event.get("dur", 0))
+            stats = summary.phases.get(name)
+            if stats is None:
+                stats = summary.phases[name] = PhaseStats(name)
+            stats.count += 1
+            stats.total_us += dur
+            stats.max_us = max(stats.max_us, dur)
+            if ts is not None:
+                t_min = ts if t_min is None else min(t_min, ts)
+                t_max = (ts + dur if t_max is None
+                         else max(t_max, ts + dur))
+            cut = args.get("cut")
+            if cut is not None:
+                if name in ("ml.refine.level", "ml.initial"):
+                    modules = int(args.get("modules", 0))
+                    summary.level_cuts.setdefault(modules, []).append(
+                        int(cut))
+                elif name == "portfolio.start" \
+                        and args.get("status") == "ok":
+                    summary.start_cuts.append(int(cut))
+        elif ph == "i":
+            name = str(event.get("name", "?"))
+            summary.instants[name] = summary.instants.get(name, 0) + 1
+    summary.processes = len(pids)
+    if t_min is not None and t_max is not None:
+        summary.span_seconds = (t_max - t_min) / 1e6
+    return summary

@@ -51,9 +51,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ConfigError, ReproError
 from ..faults import FaultInjector
+from ..obs import (BufferTracer, MetricsRegistry, get_logger, metrics,
+                   set_metrics, set_tracer, tracer, tracing)
 from .job import Job, Portfolio
 from .records import (PortfolioResult, RunRecord,
                       STATUS_FAILED, STATUS_OK, STATUS_TIMEOUT)
+
+_log = get_logger("runtime.executor")
 
 __all__ = ["SerialExecutor", "ProcessExecutor", "get_executor", "execute",
            "DEFAULT_COLLECT_TIMEOUT"]
@@ -116,18 +120,46 @@ def _execute_start(portfolio: Portfolio, index: int, seed: int,
     whichever process runs the start — so the schedule is identical
     under both executors (under the pool it does, however, count
     toward the parent's collection deadline).
+
+    When called ``in_worker`` with an enabled ambient tracer/metrics
+    registry (both inherited through the fork), the singletons are
+    swapped for in-memory collectors for the duration of the start and
+    the collected telemetry is shipped back on the record — the only
+    path events take out of a worker, since the real writer's file
+    handle must not be shared across the fork.
     """
+    tr = tracer()
+    mx = metrics()
+    buffer = parent_tracer = None
+    registry = parent_metrics = None
+    if in_worker and tr.enabled:
+        buffer = BufferTracer()
+        parent_tracer = set_tracer(buffer)
+        tr = buffer
+    if in_worker and mx.enabled:
+        registry = MetricsRegistry()
+        parent_metrics = set_metrics(registry)
+        mx = registry
     if attempt > 1:
         delay = portfolio.backoff_delay(index, attempt)
         if delay > 0.0:
+            if tr.enabled:
+                tr.instant("portfolio.backoff", {
+                    "index": index, "attempt": attempt,
+                    "delay_s": round(delay, 4)})
             time.sleep(delay)
     injector = (FaultInjector(portfolio.faults)
                 if portfolio.faults is not None else None)
+    t_start = tr.begin() if tr.enabled else 0
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
     try:
         corrupting = (injector.fire(index, attempt, in_worker=in_worker)
                       if injector is not None else None)
+        if corrupting is not None and tr.enabled:
+            tr.instant("portfolio.fault", {
+                "index": index, "attempt": attempt,
+                "kind": str(corrupting)})
         result = portfolio.fn(portfolio.hg, seed)
         if corrupting is not None:
             result = injector.corrupt(corrupting, index, attempt,
@@ -139,6 +171,12 @@ def _execute_start(portfolio: Portfolio, index: int, seed: int,
             error = _verify_result(portfolio, result)
             if error is not None:
                 record.mark_invalid(error)
+                _log.warning("start %d (seed %d, attempt %d): %s",
+                             index, seed, attempt, error)
+                if tr.enabled:
+                    tr.instant("portfolio.verify_failed", {
+                        "index": index, "attempt": attempt,
+                        "error": error})
     except Exception as exc:
         record = RunRecord(
             index=index, seed=seed, status=STATUS_FAILED,
@@ -147,6 +185,23 @@ def _execute_start(portfolio: Portfolio, index: int, seed: int,
     record.cpu_seconds = time.process_time() - cpu0
     record.worker = worker
     record.attempts = attempt
+    if tr.enabled:
+        tr.end("portfolio.start", t_start, {
+            "index": index, "seed": seed, "attempt": attempt,
+            "status": record.status, "cut": record.cut, "worker": worker})
+    if mx.enabled:
+        mx.counter("repro_portfolio_starts_total",
+                   "Portfolio starts executed, by outcome.",
+                   status=record.status).inc()
+        mx.histogram("repro_portfolio_start_seconds",
+                     "Wall time of individual portfolio starts."
+                     ).observe(record.wall_seconds)
+    if buffer is not None:
+        set_tracer(parent_tracer)
+        record.trace_events = buffer.drain()
+    if registry is not None:
+        set_metrics(parent_metrics)
+        record.metrics_snapshot = registry.snapshot()
     return record
 
 
@@ -198,6 +253,9 @@ class SerialExecutor:
             _flag_overrun(record, portfolio.budget_seconds)
             if not record.retryable or attempt > portfolio.retries:
                 return record
+            _log.info("retrying start %d (seed %d): %s on attempt %d — %s",
+                      job.index, job.seed, record.status, attempt,
+                      record.error)
             attempt += 1
 
 
@@ -279,9 +337,14 @@ class ProcessExecutor:
                             index, seed, attempt = task
                             record = self._collect(portfolio, handle, index,
                                                    seed, attempt, started)
+                            self._absorb(record)
                             timed_out |= record.status == STATUS_TIMEOUT
                             if (record.retryable
                                     and attempt <= portfolio.retries):
+                                _log.info("retrying start %d (seed %d): %s "
+                                          "on attempt %d — %s",
+                                          index, seed, record.status,
+                                          attempt, record.error)
                                 pending.append((index, seed, attempt + 1))
                                 continue
                             records[index] = record
@@ -298,6 +361,30 @@ class ProcessExecutor:
             algorithm=portfolio.name, circuit=portfolio.hg.name,
             records=ordered, wall_seconds=time.perf_counter() - wall0,
             jobs=self.jobs)
+
+    @staticmethod
+    def _absorb(record: RunRecord) -> None:
+        """Merge telemetry shipped back from a worker into the parent's
+        sinks, then clear the transport fields.
+
+        Runs for *every* collected record — including retried attempts,
+        whose outcome record is discarded but whose telemetry (the
+        failed span, the fault instant) belongs in the trace.  Events
+        carry raw machine-wide monotonic timestamps, so re-emitting
+        them through the parent's writer lands them at the correct
+        offsets in the merged timeline.
+        """
+        if record.trace_events:
+            tr = tracer()
+            if tr.enabled:
+                for event in record.trace_events:
+                    tr.emit(event)
+        record.trace_events = None
+        if record.metrics_snapshot:
+            mx = metrics()
+            if mx.enabled:
+                mx.merge(record.metrics_snapshot)
+        record.metrics_snapshot = None
 
     @staticmethod
     def _drain_notices(started: Dict[Tuple[int, int], int]) -> None:
@@ -335,6 +422,14 @@ class ProcessExecutor:
                 cls._drain_notices(started)
                 pid = started.get((index, attempt))
                 if pid is not None and not _pid_alive(pid):
+                    _log.warning("worker pid %d died before returning "
+                                 "start %d (seed %d, attempt %d)",
+                                 pid, index, seed, attempt)
+                    tr = tracer()
+                    if tr.enabled:
+                        tr.instant("portfolio.worker_death", {
+                            "index": index, "attempt": attempt,
+                            "worker_pid": pid})
                     return RunRecord(
                         index=index, seed=seed, status=STATUS_OK,
                         wall_seconds=waited, worker=f"pid:{pid}",
@@ -342,6 +437,14 @@ class ProcessExecutor:
                     ).mark_failed(
                         f"worker pid {pid} died before returning")
                 if waited >= deadline:
+                    _log.warning("start %d (seed %d, attempt %d) produced "
+                                 "no result within %gs; recorded timeout",
+                                 index, seed, attempt, deadline)
+                    tr = tracer()
+                    if tr.enabled:
+                        tr.instant("portfolio.timeout", {
+                            "index": index, "attempt": attempt,
+                            "deadline_s": deadline})
                     return RunRecord(
                         index=index, seed=seed, status=STATUS_OK,
                         wall_seconds=waited, worker="pool",
@@ -352,6 +455,8 @@ class ProcessExecutor:
                         "dispatch)")
             except Exception as exc:
                 # The worker died in a way the pool itself reported.
+                _log.warning("pool reported start %d (seed %d, attempt %d) "
+                             "failed: %s", index, seed, attempt, exc)
                 return RunRecord(
                     index=index, seed=seed, status=STATUS_OK,
                     worker="pool", attempts=attempt,
@@ -378,6 +483,8 @@ def get_executor(jobs: int = 1, executor=None):
     try:
         return ProcessExecutor(jobs)
     except ConfigError as exc:
+        _log.warning("parallel execution unavailable (%s); running "
+                     "serially", exc)
         warnings.warn(f"parallel execution unavailable ({exc}); "
                       "running serially", RuntimeWarning, stacklevel=2)
         return SerialExecutor()
@@ -392,6 +499,14 @@ def execute(portfolio: Portfolio, jobs: int = 1, executor=None,
     a checkpoint); those starts are not re-run.  ``on_record`` is
     invoked in the parent for every *newly* finished record — the
     checkpoint streaming hook.
+
+    When ``portfolio.trace`` is a path, the whole run — worker events
+    included — is written there as a Chrome trace-event stream and the
+    previous ambient tracer is restored afterwards.
     """
-    return get_executor(jobs, executor).run(portfolio, completed=completed,
-                                            on_record=on_record)
+    runner = get_executor(jobs, executor)
+    if isinstance(portfolio.trace, str):
+        with tracing(portfolio.trace):
+            return runner.run(portfolio, completed=completed,
+                              on_record=on_record)
+    return runner.run(portfolio, completed=completed, on_record=on_record)

@@ -57,6 +57,14 @@ class Portfolio:
     :class:`~repro.faults.FaultPlan` on every start.
     ``backoff_seconds`` (base) and ``backoff_cap`` shape the bounded
     exponential backoff slept before each retry.
+
+    ``trace`` controls observability for this portfolio: ``None``/
+    ``False`` leaves the ambient tracer alone (no events unless the
+    caller already enabled one), ``True`` emits into whatever tracer is
+    ambient, and a path string writes the whole run — including events
+    shipped back from worker processes — to that file as a Chrome
+    trace-event stream.  Tracing never touches the RNG streams, so the
+    outcome fingerprint is identical with it on or off.
     """
 
     algorithm: object
@@ -70,6 +78,7 @@ class Portfolio:
     verify: Union[bool, float] = False
     backoff_seconds: float = 0.0
     backoff_cap: float = 30.0
+    trace: Union[None, bool, str] = None
 
     def __post_init__(self):
         if self.runs < 1:
@@ -97,6 +106,10 @@ class Portfolio:
         if self.backoff_cap <= 0:
             raise ConfigError(
                 f"backoff_cap must be > 0, got {self.backoff_cap}")
+        if self.trace is not None and not isinstance(self.trace, (bool, str)):
+            raise ConfigError(
+                f"trace must be None, a bool, or a path string, "
+                f"got {type(self.trace).__name__}")
 
     @property
     def name(self) -> str:

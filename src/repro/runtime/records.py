@@ -71,6 +71,13 @@ class RunRecord:
     error: Optional[str] = None
     attempts: int = 1
     result: Optional[object] = None
+    #: Trace events collected in a worker process, shipped back over
+    #: the result channel for the parent to merge into its trace; the
+    #: parent clears the field after absorbing them.  Never persisted
+    #: to checkpoints (a checkpoint stores outcomes, not telemetry).
+    trace_events: Optional[List[Dict[str, object]]] = None
+    #: Same transport for a worker's metrics-registry snapshot.
+    metrics_snapshot: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:

@@ -1,0 +1,312 @@
+"""Tests for the observability layer (tracing, metrics, logging).
+
+The contracts pinned here:
+
+* span nesting in a traced ML run matches the hierarchy depth
+  (per-level coarsen/refine spans, one per level, correctly contained);
+* per-pass FM telemetry is identical under the reference and CSR
+  kernel modes (the counters are pure functions of the move sequence);
+* the multiprocess trace merge is deterministic for a fixed seed and
+  carries worker-pid-tagged spans;
+* tracing/metrics never change results (same cuts with them on/off);
+* the Prometheus rendering and the ``repro.*`` logging hierarchy work.
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.core import ml_bipartition
+from repro.fm import fm_bipartition
+from repro.harness import Algorithm, run_cell
+from repro.hypergraph import hierarchical_circuit
+from repro.kernels import use_kernels
+from repro.obs import (BufferTracer, MetricsRegistry, collecting_metrics,
+                       configure_logging, get_logger, metrics, read_trace,
+                       set_tracer, summarize_trace, tracer, tracing)
+from repro.runtime import Portfolio, execute
+
+
+def _ml() -> Algorithm:
+    return Algorithm("MLC", lambda hg, s: ml_bipartition(hg, seed=s))
+
+
+def _always_failing() -> Algorithm:
+    def run(hg, s):
+        raise ValueError("always broken")
+    return Algorithm("BROKEN", run)
+
+
+def _events_named(events, name):
+    return [e for e in events if e.get("name") == name]
+
+
+class TestTracerBasics:
+    def test_disabled_by_default(self):
+        tr = tracer()
+        assert not tr.enabled
+        # Every operation is a harmless no-op.
+        with tr.span("x") as args:
+            assert args == {}
+        tr.instant("x")
+        tr.end("x", tr.begin())
+
+    def test_tracing_restores_previous(self):
+        buffer = BufferTracer()
+        before = tracer()
+        with tracing(buffer) as active:
+            assert active is buffer
+            assert tracer() is buffer
+        assert tracer() is before
+
+    def test_results_identical_with_tracing(self, medium_hg):
+        baseline = ml_bipartition(medium_hg, seed=5)
+        with tracing(BufferTracer()):
+            traced = ml_bipartition(medium_hg, seed=5)
+        assert traced.cut == baseline.cut
+        assert traced.partition.assignment == baseline.partition.assignment
+
+
+class TestSpanNesting:
+    """Span structure of one traced ML run mirrors the hierarchy."""
+
+    @pytest.fixture
+    def run(self, medium_hg):
+        buffer = BufferTracer()
+        with tracing(buffer):
+            result = ml_bipartition(medium_hg, seed=3)
+        return result, buffer.events
+
+    def test_one_span_per_level(self, run):
+        result, events = run
+        assert len(_events_named(events, "coarsen.level")) == result.levels
+        assert len(_events_named(events, "ml.refine.level")) == result.levels
+        assert len(_events_named(events, "ml.coarsen")) == 1
+        assert len(_events_named(events, "ml.initial")) == 1
+        assert len(_events_named(events, "ml.bipartition")) == 1
+
+    def test_depths_match_hierarchy(self, run):
+        _, events = run
+        expected = {"ml.bipartition": 0, "ml.coarsen": 1, "ml.initial": 1,
+                    "ml.refine.level": 1, "coarsen.level": 2, "fm.pass": 3}
+        for name, depth in expected.items():
+            for event in _events_named(events, name):
+                assert event["args"]["depth"] == depth, name
+
+    def test_level_spans_carry_structure(self, run):
+        result, events = run
+        levels = _events_named(events, "coarsen.level")
+        assert [e["args"]["level"] for e in levels] == \
+            list(range(1, result.levels + 1))
+        for event in levels:
+            args = event["args"]
+            assert args["coarse_modules"] < args["modules"]
+            assert 0.0 < args["achieved_ratio"] <= 1.0
+        refine = _events_named(events, "ml.refine.level")
+        # Refinement walks coarsest-to-finest.
+        assert [e["args"]["level"] for e in refine] == \
+            list(range(result.levels - 1, -1, -1))
+        assert refine[-1]["args"]["modules"] == 300
+
+    def test_spans_nest_by_interval(self, run):
+        _, events = run
+        top = _events_named(events, "ml.bipartition")[0]
+        lo, hi = top["ts"], top["ts"] + top["dur"]
+        for event in events:
+            if event.get("ph") == "X":
+                assert lo <= event["ts"]
+                assert event["ts"] + event["dur"] <= hi
+
+
+class TestCrossModeTelemetry:
+    """fm.pass counters are identical under both kernel modes."""
+
+    @pytest.mark.parametrize("engine_seed", [2, 11])
+    def test_pass_counters_identical(self, medium_hg, engine_seed):
+        captured = {}
+        for mode in ("reference", "csr"):
+            buffer = BufferTracer()
+            with use_kernels(mode), tracing(buffer):
+                result = fm_bipartition(medium_hg, seed=engine_seed)
+            captured[mode] = (result.cut,
+                              [e["args"] for e in
+                               _events_named(buffer.events, "fm.pass")])
+        ref_cut, ref_passes = captured["reference"]
+        csr_cut, csr_passes = captured["csr"]
+        assert ref_cut == csr_cut
+        assert len(ref_passes) >= 1
+        assert ref_passes == csr_passes
+        for args in ref_passes:
+            assert args["moves_attempted"] >= args["moves_committed"]
+            assert args["rollback_depth"] == (args["moves_attempted"]
+                                              - args["moves_committed"])
+            assert args["gain"] == args["cut_before"] - args["cut_after"]
+
+
+@pytest.mark.parallel
+class TestMultiprocessMerge:
+    @staticmethod
+    def _trace_run(path, jobs):
+        # A fresh, identical circuit per run: the CSR build spans depend
+        # on cache state, so sharing one Hypergraph across runs would
+        # make the event sets differ for cache (not determinism) reasons.
+        hg = hierarchical_circuit(150, 180, seed=9, name="smoke")
+        portfolio = Portfolio(_ml(), hg, runs=4, seed=0, trace=str(path))
+        outcome = execute(portfolio, jobs=jobs)
+        return outcome, list(read_trace(path))
+
+    @staticmethod
+    def _canonical(events):
+        out = []
+        for event in events:
+            if event.get("ph") == "M":
+                continue
+            args = dict(event.get("args", {}))
+            args.pop("worker", None)  # scheduling-dependent
+            out.append((event["name"], event["ph"],
+                        json.dumps(args, sort_keys=True)))
+        return sorted(out)
+
+    def test_merge_deterministic_and_worker_tagged(self, tmp_path):
+        outcome_a, events_a = self._trace_run(tmp_path / "a.jsonl", jobs=2)
+        outcome_b, events_b = self._trace_run(tmp_path / "b.jsonl", jobs=2)
+        assert outcome_a.fingerprint() == outcome_b.fingerprint()
+        assert self._canonical(events_a) == self._canonical(events_b)
+
+        starts = _events_named(events_a, "portfolio.start")
+        assert len(starts) == 4
+        assert all(e["args"]["worker"].startswith("pid:") for e in starts)
+        # Events from all worker processes landed in one file, with
+        # timestamps normalised against a single epoch.
+        assert len({e["pid"] for e in starts}) >= 2
+        assert all(e["ts"] >= 0 for e in events_a)
+
+    def test_parallel_trace_matches_serial_outcomes(self, tmp_path):
+        outcome_s, events_s = self._trace_run(tmp_path / "s.jsonl", jobs=1)
+        outcome_p, events_p = self._trace_run(tmp_path / "p.jsonl", jobs=2)
+        assert outcome_s.fingerprint() == outcome_p.fingerprint()
+        cuts = sorted(e["args"]["cut"]
+                      for e in _events_named(events_p, "portfolio.start"))
+        assert cuts == sorted(outcome_p.cuts)
+
+
+class TestRetryTelemetry:
+    def test_failed_attempts_traced_with_backoff(self, medium_hg):
+        buffer = BufferTracer()
+        portfolio = Portfolio(_always_failing(), medium_hg, runs=1, seed=0,
+                              retries=1, backoff_seconds=0.001, trace=True)
+        with tracing(buffer):
+            outcome = execute(portfolio, jobs=1)
+        assert outcome.records[0].status == "failed"
+        starts = _events_named(buffer.events, "portfolio.start")
+        assert [e["args"]["attempt"] for e in starts] == [1, 2]
+        assert all(e["args"]["status"] == "failed" for e in starts)
+        backoffs = _events_named(buffer.events, "portfolio.backoff")
+        assert len(backoffs) == 1
+        assert backoffs[0]["args"]["attempt"] == 2
+
+
+class TestMetrics:
+    def test_disabled_by_default(self):
+        mx = metrics()
+        assert not mx.enabled
+        mx.counter("x", "noop").inc()  # harmless
+
+    def test_fm_metrics_collected_and_rendered(self, medium_hg):
+        with collecting_metrics() as registry:
+            fm_bipartition(medium_hg, seed=1)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_fm_runs_total counter" in text
+        assert "# TYPE repro_fm_run_seconds histogram" in text
+        assert 'repro_fm_runs_total{mode="' in text
+        assert "repro_fm_run_seconds_bucket" in text
+        assert text.endswith("\n")
+
+    def test_merge_adds_counters(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c_total", "h", k="v").inc(2)
+        b.counter("c_total", "h", k="v").inc(3)
+        b.histogram("h_seconds", "h").observe(0.5)
+        a.merge(b.snapshot())
+        assert a.counter("c_total", "h", k="v").value == 5
+        assert a.histogram("h_seconds", "h").count == 1
+
+    def test_portfolio_counters_merge_from_workers(self, medium_hg):
+        with collecting_metrics() as registry:
+            run_cell(_ml(), medium_hg, runs=2, seed=0)
+        text = registry.render_prometheus()
+        assert 'repro_portfolio_starts_total{status="ok"} 2' in text
+
+
+class TestSurfaceAPI:
+    def test_run_cell_trace_and_metrics_out(self, medium_hg, tmp_path):
+        trace_path = tmp_path / "cell.trace.jsonl"
+        metrics_path = tmp_path / "cell.metrics.txt"
+        stats = run_cell(_ml(), medium_hg, runs=2, seed=0,
+                         trace=str(trace_path),
+                         metrics_out=str(metrics_path))
+        plain = run_cell(_ml(), medium_hg, runs=2, seed=0)
+        assert stats.cuts == plain.cuts  # observability changes nothing
+        events = list(read_trace(trace_path))
+        assert _events_named(events, "portfolio.start")
+        assert "repro_portfolio_starts_total" in metrics_path.read_text()
+
+    def test_trace_summary_output(self, medium_hg, tmp_path):
+        trace_path = tmp_path / "run.trace.jsonl"
+        run_cell(_ml(), medium_hg, runs=2, seed=0, trace=str(trace_path))
+        summary = summarize_trace(trace_path)
+        rendered = summary.render()
+        assert "phase" in rendered
+        assert "ml.bipartition" in rendered
+        assert "cut by level" in rendered
+        assert "portfolio: 2 finished start(s)" in rendered
+
+    def test_trace_summary_cli(self, medium_hg, tmp_path, capsys):
+        from repro.cli import main
+        trace_path = tmp_path / "run.trace.jsonl"
+        run_cell(_ml(), medium_hg, runs=1, seed=0, trace=str(trace_path))
+        assert main(["trace-summary", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fm.pass" in out
+
+    def test_portfolio_trace_validation(self, medium_hg):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            Portfolio(_ml(), medium_hg, runs=1, trace=3.14)
+
+
+class TestLogging:
+    def test_hierarchy_and_default_silence(self):
+        log = get_logger("runtime.executor")
+        assert log.name == "repro.runtime.executor"
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler)
+                   for h in root.handlers)
+
+    def test_configure_levels_and_idempotence(self):
+        root = logging.getLogger("repro")
+
+        def cli_handlers():
+            return [h for h in root.handlers
+                    if getattr(h, "_repro_cli_handler", False)]
+
+        try:
+            configure_logging(verbosity=1)
+            assert root.level == logging.INFO
+            configure_logging(verbosity=2)
+            assert root.level == logging.DEBUG
+            configure_logging(level="WARNING")
+            assert root.level == logging.WARNING
+            assert len(cli_handlers()) == 1
+        finally:
+            for handler in cli_handlers():
+                root.removeHandler(handler)
+            root.setLevel(logging.NOTSET)
+
+    def test_retry_notice_logged(self, medium_hg, caplog):
+        portfolio = Portfolio(_always_failing(), medium_hg, runs=1, seed=0,
+                              retries=1)
+        with caplog.at_level(logging.INFO, logger="repro"):
+            execute(portfolio, jobs=1)
+        assert any("retrying start 0" in r.message for r in caplog.records)

@@ -297,7 +297,10 @@ class TestCellStats:
         stats = CellStats(algorithm="A", circuit="c", cuts=[3, 4],
                           cpu_seconds=2.0)
         assert stats.wall_seconds == 2.0
-        assert stats.elapsed_seconds == 2.0
+        with pytest.deprecated_call():
+            assert stats.elapsed_seconds == 2.0
+        with pytest.deprecated_call():
+            assert stats.cpu_time == 2.0
         assert stats.min_cut == 3
 
     def test_zero_runs_still_rejected(self, medium_hg):
