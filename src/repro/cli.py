@@ -20,17 +20,28 @@ Examples::
     repro partition s9234.hgr -k 4 --algorithm mlf --output parts.txt
     repro partition s9234.hgr --runs 10 --jobs 4 --trace run.trace.jsonl
     repro trace-summary run.trace.jsonl
+    repro compare baseline.jsonl current.jsonl --gate
+    repro report --ledger .repro/ledger.jsonl --trace run.trace.jsonl
 
 Every subcommand accepts ``-v``/``-vv`` (or ``--log-level LEVEL``) to
 raise the verbosity of the ``repro.*`` logging hierarchy, which is
 quiet by default.  ``--trace FILE`` (on ``partition``/``bench``) writes
 a Chrome trace-event stream loadable in Perfetto or chrome://tracing;
 ``--metrics-out FILE`` writes Prometheus-format metrics.
+
+Every ``partition``/``bench`` run is also recorded in the append-only
+run ledger (``.repro/ledger.jsonl``; redirect or disable with the
+``REPRO_LEDGER`` environment variable).  ``repro compare`` reduces two
+ledgers (or committed ``BENCH_*.json`` reports) with median/sign-test
+statistics — ``--gate`` exits nonzero on a *confirmed* regression —
+and ``repro report`` renders the ledger (plus optional convergence
+analytics from a trace) as markdown or HTML.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -63,6 +74,21 @@ def _read_netlist(path: str) -> Hypergraph:
     if path.endswith(".json"):
         return read_json(path)
     return read_hmetis(path)
+
+
+def _write_metrics(registry, path: str) -> None:
+    """Write a registry's Prometheus exposition to ``path``.
+
+    The one ``--metrics-out`` implementation (partition and bench both
+    funnel here): parent directories are created, and IO failures
+    surface as a clean CLI error instead of a traceback.
+    """
+    from .obs import write_prometheus
+    try:
+        write_prometheus(registry, path)
+    except OSError as exc:
+        raise ReproError(f"could not write metrics to {path}: {exc}")
+    print(f"metrics written to {path}", file=sys.stderr)
 
 
 def _single_run(algorithm: str, hg: Hypergraph, k: int, ratio: float,
@@ -153,9 +179,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     else:
         outcome = execute(portfolio, jobs=args.jobs)
     if registry is not None:
-        with open(args.metrics_out, "w", encoding="utf-8") as f:
-            f.write(registry.render_prometheus())
-        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+        _write_metrics(registry, args.metrics_out)
     if args.trace:
         print(f"trace written to {args.trace} (load in Perfetto or "
               "chrome://tracing, or run 'repro trace-summary')",
@@ -265,9 +289,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         rendered = generators[args.table]().render()
     print(rendered)
     if registry is not None:
-        with open(args.metrics_out, "w", encoding="utf-8") as f:
-            f.write(registry.render_prometheus())
-        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+        _write_metrics(registry, args.metrics_out)
     if args.trace:
         print(f"trace written to {args.trace}", file=sys.stderr)
     return 0
@@ -276,6 +298,56 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_trace_summary(args: argparse.Namespace) -> int:
     from .obs import summarize_trace
     print(summarize_trace(args.trace).render())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .obs import compare_sample_sets, load_samples
+    from .obs.compare import RUNTIME_METRICS
+    baseline = load_samples(args.baseline)
+    current = load_samples(args.current)
+    comparisons = compare_sample_sets(
+        baseline, current, alpha=args.alpha,
+        min_effect_pct=args.min_effect,
+        time_min_effect_pct=args.time_min_effect)
+    if not comparisons:
+        print("no overlapping (key, metric) pairs between "
+              f"{args.baseline} and {args.current}; nothing to compare")
+        return 2 if args.gate else 0
+    for comparison in comparisons:
+        print(comparison.describe())
+    gated = [c for c in comparisons
+             if c.regressed and c.confirmed
+             and (not args.no_time_gate
+                  or c.metric not in RUNTIME_METRICS)]
+    improved = sum(c.confirmed and not c.regressed for c in comparisons)
+    print(f"{len(comparisons)} comparison(s): "
+          f"{len([c for c in comparisons if c.regressed])} regressed, "
+          f"{improved} improved, "
+          f"{sum(not c.confirmed for c in comparisons)} indistinguishable")
+    if args.gate and gated:
+        print(f"gate: FAILED — {len(gated)} confirmed regression(s)",
+              file=sys.stderr)
+        return 1
+    if args.gate:
+        print("gate: ok (no confirmed regressions)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs import build_report
+    text = build_report(ledger=args.ledger, trace=args.trace,
+                        fmt=args.format, last=args.last)
+    if args.output:
+        try:
+            Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+            Path(args.output).write_text(text, encoding="utf-8")
+        except OSError as exc:
+            raise ReproError(
+                f"could not write report to {args.output}: {exc}")
+        print(f"report written to {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
     return 0
 
 
@@ -390,6 +462,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-phase time and cut breakdown of a trace file")
     p_tsum.add_argument("trace", help="trace file written by --trace")
     p_tsum.set_defaults(fn=_cmd_trace_summary)
+
+    p_cmp = sub.add_parser(
+        "compare", parents=[common],
+        help="statistically compare two run ledgers (or BENCH_*.json "
+             "reports); --gate exits nonzero on confirmed regressions")
+    p_cmp.add_argument("baseline",
+                       help="baseline ledger (.jsonl) or BENCH_*.json")
+    p_cmp.add_argument("current",
+                       help="current ledger (.jsonl) or BENCH_*.json")
+    p_cmp.add_argument("--gate", action="store_true",
+                       help="exit 1 on any confirmed regression (the CI "
+                            "perf/quality gate)")
+    p_cmp.add_argument("--alpha", type=float, default=0.05,
+                       help="sign-test significance level (default 0.05)")
+    p_cmp.add_argument("--min-effect", type=float, default=1.0,
+                       metavar="PCT",
+                       help="minimum median shift (%%) for a quality "
+                            "verdict to count (default 1.0)")
+    p_cmp.add_argument("--time-min-effect", type=float, default=25.0,
+                       metavar="PCT",
+                       help="minimum median shift (%%) for a runtime "
+                            "verdict to count (default 25.0 — CI "
+                            "machines breathe)")
+    p_cmp.add_argument("--no-time-gate", action="store_true",
+                       help="report runtime regressions but never fail "
+                            "the gate on them (quality only)")
+    p_cmp.set_defaults(fn=_cmd_compare)
+
+    p_rep = sub.add_parser(
+        "report", parents=[common],
+        help="render the run ledger (and optional trace convergence "
+             "analytics) as markdown or HTML")
+    p_rep.add_argument("--ledger", default=None, metavar="FILE",
+                       help="ledger to read (default: the active one, "
+                            "per REPRO_LEDGER)")
+    p_rep.add_argument("--trace", default=None, metavar="FILE",
+                       help="also include convergence tables from this "
+                            "trace file")
+    p_rep.add_argument("--format", choices=["markdown", "html"],
+                       default="markdown")
+    p_rep.add_argument("--last", type=int, default=50,
+                       help="read at most this many trailing ledger "
+                            "entries (default 50)")
+    p_rep.add_argument("-o", "--output", default=None,
+                       help="write the report here instead of stdout")
+    p_rep.set_defaults(fn=_cmd_report)
     return parser
 
 
@@ -406,6 +524,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream reader (e.g. ``repro trace-summary ... | head``)
+        # closed the pipe; suppress the traceback and exit quietly.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

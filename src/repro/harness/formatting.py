@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-__all__ = ["format_table", "format_number"]
+__all__ = ["format_table", "format_number", "format_markdown_table",
+           "format_html_table"]
 
 
 def format_number(value: object, digits: int = 1) -> str:
@@ -54,4 +55,42 @@ def format_table(headers: Sequence[str],
     lines.append(fmt_row(list(headers)))
     lines.append(fmt_row(["-" * w for w in widths]))
     lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str],
+                          rows: Sequence[Sequence[object]],
+                          digits: int = 1) -> str:
+    """GitHub-flavoured markdown pipe table (first column left-aligned,
+    the rest right-aligned) — the ``repro report`` building block."""
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(cells) + " |"
+
+    rendered = [[format_number(cell, digits) for cell in row]
+                for row in rows]
+    lines = [fmt_row(list(headers)),
+             fmt_row([":--"] + ["--:"] * (len(headers) - 1))]
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def _html_escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def format_html_table(headers: Sequence[str],
+                      rows: Sequence[Sequence[object]],
+                      digits: int = 1) -> str:
+    """Minimal dependency-free HTML table for ``repro report --format
+    html``."""
+    lines = ["<table>", "<thead><tr>"]
+    lines += [f"<th>{_html_escape(str(h))}</th>" for h in headers]
+    lines += ["</tr></thead>", "<tbody>"]
+    for row in rows:
+        cells = "".join(
+            f"<td>{_html_escape(format_number(cell, digits))}</td>"
+            for cell in row)
+        lines.append(f"<tr>{cells}</tr>")
+    lines += ["</tbody>", "</table>"]
     return "\n".join(lines)

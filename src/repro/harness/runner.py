@@ -167,12 +167,11 @@ def run_cell(algorithm: Algorithm, hg: Hypergraph, runs: int,
                           faults=faults, verify=verify,
                           backoff_seconds=backoff_seconds, trace=trace)
     if metrics_out is not None:
-        from ..obs import collecting_metrics
+        from ..obs import collecting_metrics, write_prometheus
         with collecting_metrics() as registry:
             outcome = execute(portfolio, jobs=jobs, executor=executor,
                               completed=completed, on_record=on_record)
-        with open(metrics_out, "w", encoding="utf-8") as f:
-            f.write(registry.render_prometheus())
+        write_prometheus(registry, metrics_out)
     else:
         outcome = execute(portfolio, jobs=jobs, executor=executor,
                           completed=completed, on_record=on_record)
@@ -257,8 +256,8 @@ def run_matrix(algorithms: Sequence[Algorithm],
                         trace=trace)
                 table[hg.name] = row
         if registry is not None:
-            with open(metrics_out, "w", encoding="utf-8") as f:
-                f.write(registry.render_prometheus())
+            from ..obs import write_prometheus
+            write_prometheus(registry, metrics_out)
         return table
     finally:
         if ckpt is not None:

@@ -16,20 +16,47 @@ Instrumented hot paths sample the module singletons once per coarse
 operation and guard event construction behind their ``enabled`` flags;
 with both layers off the cost is a handful of attribute reads per FM
 call, asserted end-to-end by ``benchmarks/bench_obs_overhead.py``.
+
+On top of the emitting layers sit the *consuming* layers, which give
+the telemetry a memory across runs:
+
+* :mod:`repro.obs.ledger` — the append-only JSONL run ledger every
+  portfolio execution records into (opt-out ``REPRO_LEDGER=off``);
+* :mod:`repro.obs.compare` — median / bootstrap-CI / sign-test
+  comparison of recorded runs (``repro compare --gate``);
+* :mod:`repro.obs.convergence` — cut-vs-pass and per-level
+  refinement-attribution analytics from the per-pass FM telemetry;
+* :mod:`repro.obs.report` — the markdown / HTML report
+  (``repro report``).
 """
 
 from .log import configure_logging, get_logger
 from .metrics import (MetricsRegistry, NoopMetrics, collecting_metrics,
-                      metrics, set_metrics)
+                      metrics, set_metrics, write_prometheus)
 from .summary import TraceSummary, summarize_trace
 from .trace import (BufferTracer, JsonlTraceWriter, NoopTracer, Tracer,
                     read_trace, set_tracer, tracer, tracing)
+from .ledger import (LEDGER_ENV, LEDGER_VERSION, append_entry, git_sha,
+                     ledger_enabled, ledger_path, read_ledger,
+                     record_result, stable_view)
+from .compare import (Comparison, bootstrap_delta_ci, compare_sample_sets,
+                      compare_samples, load_samples, sign_test)
+from .convergence import (ConvergenceReport, convergence_from_events,
+                          convergence_report)
+from .report import build_report
 
 __all__ = [
     "tracer", "set_tracer", "tracing", "Tracer", "NoopTracer",
     "BufferTracer", "JsonlTraceWriter", "read_trace",
     "metrics", "set_metrics", "collecting_metrics", "MetricsRegistry",
-    "NoopMetrics",
+    "NoopMetrics", "write_prometheus",
     "get_logger", "configure_logging",
     "summarize_trace", "TraceSummary",
+    "LEDGER_ENV", "LEDGER_VERSION", "ledger_path", "ledger_enabled",
+    "append_entry", "read_ledger", "record_result", "stable_view",
+    "git_sha",
+    "Comparison", "sign_test", "bootstrap_delta_ci", "compare_samples",
+    "compare_sample_sets", "load_samples",
+    "ConvergenceReport", "convergence_from_events", "convergence_report",
+    "build_report",
 ]

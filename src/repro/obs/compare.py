@@ -1,0 +1,277 @@
+"""Statistical comparison of recorded runs: no more raw percent deltas.
+
+Single-shot wall-clock comparisons are noise (``BENCH_obs.json`` once
+reported *negative* instrumentation overhead from exactly that), and
+the paper's own claims are distributional — min/average cut over many
+starts.  This module reduces repeated-seed samples with robust
+statistics and classifies each delta as ``improved`` / ``regressed`` /
+``indistinguishable``:
+
+* **median** of each sample set (robust to the odd straggler start);
+* a paired **sign test** (exact binomial, two-sided) over per-seed
+  pairs — starts are paired by index because the seed derivation is
+  position-stable, so pair *i* ran the same seed in both sweeps;
+* a seeded **bootstrap confidence interval** on the difference of
+  medians, for effect-size context (deterministic: the resampling RNG
+  is keyed on the comparison's identity).
+
+A verdict is *confirmed* — the only kind ``repro compare --gate``
+fails on — when the sign test is significant at ``alpha`` **and** the
+median moved by at least ``min_effect_pct``.  Identical samples (the
+same pinned-seed suite run twice) have zero informative pairs, a sign
+test p-value of 1, and come out ``indistinguishable`` by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from statistics import median
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ReproError
+from ..rng import stable_seed
+
+__all__ = ["VERDICT_IMPROVED", "VERDICT_REGRESSED",
+           "VERDICT_INDISTINGUISHABLE", "Comparison", "sign_test",
+           "bootstrap_delta_ci", "compare_samples", "compare_sample_sets",
+           "load_samples"]
+
+VERDICT_IMPROVED = "improved"
+VERDICT_REGRESSED = "regressed"
+VERDICT_INDISTINGUISHABLE = "indistinguishable"
+
+#: Metrics the loaders emit, with gate-relevant defaults: quality
+#: deltas are meaningful from small effects, runtime deltas only past
+#: scheduling noise.
+QUALITY_METRICS = ("cut",)
+RUNTIME_METRICS = ("wall", "cpu")
+
+
+def sign_test(baseline: Sequence[float],
+              current: Sequence[float]) -> float:
+    """Two-sided exact sign test over index-paired samples.
+
+    Pairs ``baseline[i]`` with ``current[i]`` (position-stable seeds
+    make index pairing seed pairing); ties contribute no information.
+    Returns the p-value for "the paired differences are symmetric
+    around zero" — 1.0 when every pair ties or either side is empty.
+    """
+    pairs = min(len(baseline), len(current))
+    pos = neg = 0
+    for i in range(pairs):
+        d = current[i] - baseline[i]
+        if d > 0:
+            pos += 1
+        elif d < 0:
+            neg += 1
+    n = pos + neg
+    if n == 0:
+        return 1.0
+    k = min(pos, neg)
+    tail = sum(math.comb(n, i) for i in range(k + 1)) / 2.0 ** n
+    return min(1.0, 2.0 * tail)
+
+
+def bootstrap_delta_ci(baseline: Sequence[float],
+                       current: Sequence[float],
+                       n_boot: int = 1000,
+                       confidence: float = 0.95,
+                       seed: int = 0) -> Tuple[float, float]:
+    """Percentile bootstrap CI for ``median(current) - median(baseline)``.
+
+    Each side is resampled independently with replacement by a seeded
+    ``random.Random`` — the same inputs and seed always produce the
+    same interval, so comparisons are reproducible run to run.
+    """
+    if not baseline or not current:
+        return (0.0, 0.0)
+    rng = random.Random(seed)
+    deltas = []
+    for _ in range(n_boot):
+        b = [rng.choice(baseline) for _ in baseline]
+        c = [rng.choice(current) for _ in current]
+        deltas.append(median(c) - median(b))
+    deltas.sort()
+    lo = int(round((1.0 - confidence) / 2.0 * (n_boot - 1)))
+    hi = int(round((1.0 + confidence) / 2.0 * (n_boot - 1)))
+    return (deltas[lo], deltas[hi])
+
+
+@dataclass
+class Comparison:
+    """One metric of one key, baseline vs current, with a verdict."""
+
+    key: str
+    metric: str
+    baseline: List[float]
+    current: List[float]
+    baseline_median: float
+    current_median: float
+    delta: float
+    delta_pct: Optional[float]
+    p_value: float
+    ci_low: float
+    ci_high: float
+    verdict: str
+    confirmed: bool
+
+    @property
+    def regressed(self) -> bool:
+        return self.verdict == VERDICT_REGRESSED
+
+    def describe(self) -> str:
+        pct = ("n/a" if self.delta_pct is None
+               else f"{self.delta_pct:+.1f}%")
+        return (f"{self.key} {self.metric}: {self.baseline_median:g} -> "
+                f"{self.current_median:g} ({pct}, p={self.p_value:.3f}, "
+                f"95% CI [{self.ci_low:+g}, {self.ci_high:+g}]) "
+                f"{self.verdict}")
+
+
+def compare_samples(key: str, metric: str,
+                    baseline: Sequence[float], current: Sequence[float],
+                    alpha: float = 0.05,
+                    min_effect_pct: float = 0.0,
+                    lower_is_better: bool = True,
+                    n_boot: int = 1000) -> Comparison:
+    """Classify one metric's delta between two sample sets.
+
+    The verdict is directional (``lower_is_better`` says which way is
+    an improvement) and conservative: anything short of a significant
+    sign test *and* a median shift of at least ``min_effect_pct``
+    percent is ``indistinguishable``.
+    """
+    baseline = [float(x) for x in baseline]
+    current = [float(x) for x in current]
+    if not baseline or not current:
+        m_base = median(baseline) if baseline else 0.0
+        m_cur = median(current) if current else 0.0
+        return Comparison(key, metric, baseline, current, m_base, m_cur,
+                          m_cur - m_base, None, 1.0, 0.0, 0.0,
+                          VERDICT_INDISTINGUISHABLE, False)
+    m_base = median(baseline)
+    m_cur = median(current)
+    delta = m_cur - m_base
+    delta_pct = (100.0 * delta / m_base) if m_base else None
+    p = sign_test(baseline, current)
+    ci_low, ci_high = bootstrap_delta_ci(
+        baseline, current, n_boot=n_boot,
+        seed=stable_seed("bootstrap", key, metric))
+    significant = p < alpha and delta != 0.0
+    meaningful = (delta_pct is None
+                  or abs(delta_pct) >= min_effect_pct)
+    if significant and meaningful:
+        worse = (delta > 0) == lower_is_better
+        verdict = VERDICT_REGRESSED if worse else VERDICT_IMPROVED
+        confirmed = True
+    else:
+        verdict = VERDICT_INDISTINGUISHABLE
+        confirmed = False
+    return Comparison(key, metric, baseline, current, m_base, m_cur,
+                      delta, delta_pct, p, ci_low, ci_high, verdict,
+                      confirmed)
+
+
+SampleSets = Dict[str, Dict[str, List[float]]]
+
+
+def compare_sample_sets(baseline: SampleSets, current: SampleSets,
+                        alpha: float = 0.05,
+                        min_effect_pct: float = 1.0,
+                        time_min_effect_pct: float = 25.0
+                        ) -> List[Comparison]:
+    """Compare every (key, metric) present on both sides.
+
+    Quality metrics use ``min_effect_pct``; runtime metrics the looser
+    ``time_min_effect_pct`` (CI machines breathe).  Keys or metrics
+    present on only one side are skipped — the gate compares what both
+    sweeps measured, it does not punish coverage changes.
+    """
+    comparisons: List[Comparison] = []
+    for key in sorted(set(baseline) & set(current)):
+        base_metrics = baseline[key]
+        cur_metrics = current[key]
+        for metric in sorted(set(base_metrics) & set(cur_metrics)):
+            effect = (time_min_effect_pct if metric in RUNTIME_METRICS
+                      else min_effect_pct)
+            comparisons.append(compare_samples(
+                key, metric, base_metrics[metric], cur_metrics[metric],
+                alpha=alpha, min_effect_pct=effect))
+    return comparisons
+
+
+# -- loading recorded samples ------------------------------------------
+
+def _samples_from_ledger(path: Union[str, Path]) -> SampleSets:
+    """Latest entry per (circuit, algorithm) key -> its sample lists.
+
+    A ledger may hold many generations of the same experiment; the
+    *latest* entry per key is the one a comparison should see (the
+    per-entry ``cuts`` list already carries the repeated-seed samples).
+    """
+    from .ledger import read_ledger
+    latest: Dict[str, Dict[str, object]] = {}
+    for entry in read_ledger(path):
+        key = f"{entry.get('circuit', '?')}/{entry.get('algorithm', '?')}"
+        latest[key] = entry
+    out: SampleSets = {}
+    for key, entry in latest.items():
+        metrics: Dict[str, List[float]] = {}
+        cuts = entry.get("cuts")
+        if isinstance(cuts, list) and cuts:
+            metrics["cut"] = [float(c) for c in cuts]
+        for metric, field in (("wall", "run_wall"), ("cpu", "run_cpu")):
+            values = entry.get(field)
+            if isinstance(values, list) and values:
+                metrics[metric] = [float(v) for v in values]
+        if metrics:
+            out[key] = metrics
+    return out
+
+
+def _samples_from_bench_json(path: Union[str, Path]) -> SampleSets:
+    """Adapt a committed ``BENCH_*.json`` report to sample sets.
+
+    Both ``BENCH_kernels.json`` and ``BENCH_obs.json`` carry a
+    ``results`` list of per-circuit rows; every numeric field of a row
+    becomes a single-sample metric keyed by circuit (and kernel, when
+    present).  Single samples can never *confirm* a verdict — they
+    exist so a ledger can be sanity-checked against the committed
+    baselines, not to replace them.
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    rows = data.get("results")
+    if not isinstance(rows, list):
+        raise ReproError(
+            f"{path}: not a ledger (.jsonl) and has no 'results' rows; "
+            "cannot extract samples to compare")
+    out: SampleSets = {}
+    for row in rows:
+        if not isinstance(row, dict):
+            continue
+        key = str(row.get("circuit", "?"))
+        if "kernel" in row:
+            key = f"{key}/{row['kernel']}"
+        metrics = out.setdefault(key, {})
+        for field, value in row.items():
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                continue
+            metrics.setdefault(field, []).append(float(value))
+    return out
+
+
+def load_samples(path: Union[str, Path]) -> SampleSets:
+    """Load comparable samples from a ledger (``.jsonl``) or a
+    ``BENCH_*.json`` report, keyed ``circuit[/kernel]`` or
+    ``circuit/algorithm``."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"{path}: no such ledger or benchmark report")
+    if path.suffix == ".jsonl":
+        return _samples_from_ledger(path)
+    return _samples_from_bench_json(path)

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "NoopMetrics", "metrics", "set_metrics", "collecting_metrics",
-           "DEFAULT_BUCKETS"]
+           "write_prometheus", "DEFAULT_BUCKETS"]
 
 #: Default histogram buckets (seconds-oriented, log-ish spacing).
 DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
@@ -262,6 +262,22 @@ def _fmt(value: Union[int, float]) -> str:
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
     return repr(value)
+
+
+def write_prometheus(registry: Union[NoopMetrics, MetricsRegistry],
+                     path) -> None:
+    """Write ``registry``'s Prometheus exposition to ``path``.
+
+    Creates missing parent directories; the shared implementation
+    behind every ``--metrics-out`` site (CLI and harness).  IO errors
+    propagate as :class:`OSError` for the caller to translate.
+    """
+    import os
+    parent = os.path.dirname(str(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(registry.render_prometheus())
 
 
 # -- the module-level singleton ----------------------------------------

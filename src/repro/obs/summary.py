@@ -50,6 +50,8 @@ class TraceSummary:
     instants: Dict[str, int] = field(default_factory=dict)
 
     def render(self) -> str:
+        if not self.events:
+            return "no events in trace (empty or header-only file)"
         lines = [f"{self.events} events from {self.processes} process(es), "
                  f"{self.span_seconds:.3f}s traced"]
         if self.phases:
@@ -92,29 +94,38 @@ def summarize_trace(path) -> TraceSummary:
     t_min: Optional[int] = None
     t_max: Optional[int] = None
     for event in read_trace(path):
+        if not isinstance(event, dict):
+            continue  # unknown payload: tolerate, don't raise
         summary.events += 1
         if "pid" in event:
             pids.add(event["pid"])
         ph = event.get("ph")
-        args = event.get("args") or {}
+        args = event.get("args")
+        if not isinstance(args, dict):
+            args = {}
         ts = event.get("ts")
         if ph == "X":
             name = str(event.get("name", "?"))
-            dur = int(event.get("dur", 0))
+            try:
+                dur = int(event.get("dur", 0))
+            except (TypeError, ValueError):
+                dur = 0
             stats = summary.phases.get(name)
             if stats is None:
                 stats = summary.phases[name] = PhaseStats(name)
             stats.count += 1
             stats.total_us += dur
             stats.max_us = max(stats.max_us, dur)
-            if ts is not None:
+            if isinstance(ts, (int, float)):
                 t_min = ts if t_min is None else min(t_min, ts)
                 t_max = (ts + dur if t_max is None
                          else max(t_max, ts + dur))
             cut = args.get("cut")
-            if cut is not None:
+            if isinstance(cut, (int, float)):
                 if name in ("ml.refine.level", "ml.initial"):
-                    modules = int(args.get("modules", 0))
+                    modules = args.get("modules", 0)
+                    if not isinstance(modules, int):
+                        modules = 0
                     summary.level_cuts.setdefault(modules, []).append(
                         int(cut))
                 elif name == "portfolio.start" \

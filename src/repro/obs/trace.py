@@ -303,12 +303,39 @@ class tracing:
 
 # -- reading traces back -----------------------------------------------
 
+def _parse_lines(lines) -> Iterator[Event]:
+    """Parse stripped JSON lines with the checkpoint tolerance rules:
+    a truncated *final* line (the signature of a crash or an in-flight
+    writer) is dropped; corruption anywhere else raises a clean
+    :class:`~repro.errors.ReproError`."""
+    from ..errors import ReproError
+    pending = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line:
+            continue
+        try:
+            pending.append((lineno, json.loads(line)))
+        except json.JSONDecodeError:
+            pending.append((lineno, None))
+        if len(pending) > 1:
+            held_lineno, event = pending.pop(0)
+            if event is None:
+                raise ReproError(
+                    f"corrupt trace event at line {held_lineno}; "
+                    "only a truncated final line is tolerated")
+            yield event
+    if pending and pending[0][1] is not None:
+        yield pending[0][1]
+
+
 def read_trace(path) -> Iterator[Event]:
     """Yield events from a trace file written by this module.
 
     Accepts the incremental array form this module writes (``[`` line,
     then ``{...},`` lines, optionally unterminated), a closed JSON
-    array, and plain JSONL.
+    array, and plain JSONL.  An empty file yields nothing; a truncated
+    final line — a crashed or still-running writer — is dropped, the
+    same tolerance rule :mod:`repro.runtime.checkpoint` applies.
     """
     with open(path, "r", encoding="utf-8") as f:
         first = f.read(1)
@@ -317,10 +344,7 @@ def read_trace(path) -> Iterator[Event]:
         if first != "[":
             # Plain JSONL: one complete object per line.
             f.seek(0)
-            for line in f:
-                line = line.strip().rstrip(",")
-                if line:
-                    yield json.loads(line)
+            yield from _parse_lines(line.strip().rstrip(",") for line in f)
             return
         rest = f.read().lstrip("\n")
     try:
@@ -330,7 +354,6 @@ def read_trace(path) -> Iterator[Event]:
         return
     except json.JSONDecodeError:
         pass
-    for line in rest.splitlines():
-        line = line.strip().rstrip(",").rstrip("]").rstrip(",")
-        if line:
-            yield json.loads(line)
+    yield from _parse_lines(
+        line.strip().rstrip(",").rstrip("]").rstrip(",")
+        for line in rest.splitlines())

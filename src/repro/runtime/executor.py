@@ -52,7 +52,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..errors import ConfigError, ReproError
 from ..faults import FaultInjector
 from ..obs import (BufferTracer, MetricsRegistry, get_logger, metrics,
-                   set_metrics, set_tracer, tracer, tracing)
+                   record_result, set_metrics, set_tracer, tracer, tracing)
 from .job import Job, Portfolio
 from .records import (PortfolioResult, RunRecord,
                       STATUS_FAILED, STATUS_OK, STATUS_TIMEOUT)
@@ -503,10 +503,22 @@ def execute(portfolio: Portfolio, jobs: int = 1, executor=None,
     When ``portfolio.trace`` is a path, the whole run — worker events
     included — is written there as a Chrome trace-event stream and the
     previous ambient tracer is restored afterwards.
+
+    Every completed execution is recorded in the run ledger
+    (:mod:`repro.obs.ledger`) unless ``REPRO_LEDGER=off``; when a trace
+    file was written, its per-phase rollup rides along in the entry.
     """
     runner = get_executor(jobs, executor)
-    if isinstance(portfolio.trace, str):
-        with tracing(portfolio.trace):
-            return runner.run(portfolio, completed=completed,
-                              on_record=on_record)
-    return runner.run(portfolio, completed=completed, on_record=on_record)
+    trace_path = portfolio.trace if isinstance(portfolio.trace, str) else None
+    if trace_path is not None:
+        with tracing(trace_path):
+            result = runner.run(portfolio, completed=completed,
+                                on_record=on_record)
+    else:
+        result = runner.run(portfolio, completed=completed,
+                            on_record=on_record)
+    # After the tracing context closes, so phase rollups read a
+    # flushed, complete file.
+    record_result(result, portfolio, jobs=runner.jobs,
+                  trace_path=trace_path)
+    return result

@@ -1,6 +1,13 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import pytest
+
+# The run ledger is on by default; the suite executes hundreds of
+# portfolios and must not grow one.  Ledger tests opt back in by
+# monkeypatching REPRO_LEDGER to a tmp path.
+os.environ.setdefault("REPRO_LEDGER", "off")
 
 from repro.hypergraph import Hypergraph, grid_circuit, hierarchical_circuit
 

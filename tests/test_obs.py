@@ -310,3 +310,65 @@ class TestLogging:
         with caplog.at_level(logging.INFO, logger="repro"):
             execute(portfolio, jobs=1)
         assert any("retrying start 0" in r.message for r in caplog.records)
+
+
+class TestTraceToleranceRules:
+    """The checkpoint tolerance rules, applied to trace reading: a
+    truncated *final* line is a crash signature and is dropped;
+    corruption anywhere else raises a clean error; unknown or
+    malformed events never crash the summary."""
+
+    def test_empty_trace_summarizes_to_notice(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        summary = summarize_trace(path)
+        assert summary.events == 0
+        assert "no events" in summary.render()
+
+    def test_header_only_trace(self, tmp_path):
+        path = tmp_path / "header.jsonl"
+        path.write_text("[\n")
+        assert list(read_trace(path)) == []
+        assert "no events" in summarize_trace(path).render()
+
+    def test_truncated_final_line_dropped(self, tmp_path):
+        path = tmp_path / "trunc.jsonl"
+        path.write_text(
+            '{"name": "a", "ph": "X", "ts": 0, "dur": 5}\n'
+            '{"name": "b", "ph": "X", "ts": 5, "du')
+        events = list(read_trace(path))
+        assert [e["name"] for e in events] == ["a"]
+        assert summarize_trace(path).events == 1
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        from repro.errors import ReproError
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(
+            '{"name": "a", "ph": "X", "ts": 0, "dur": 5}\n'
+            '{"name": "b", "ph": "X", bad\n'
+            '{"name": "c", "ph": "X", "ts": 9, "dur": 1}\n')
+        with pytest.raises(ReproError, match="line 2"):
+            list(read_trace(path))
+
+    def test_unknown_event_shapes_tolerated(self, tmp_path):
+        path = tmp_path / "weird.jsonl"
+        path.write_text("\n".join([
+            '{"name": "a", "ph": "X", "ts": 0, "dur": 5}',
+            '"just a string"',
+            '{"ph": "X", "dur": "not-a-number", "args": "not-a-dict"}',
+            '{"name": "mystery", "ph": "Z"}',
+            '{"name": "ml.initial", "ph": "X", "ts": 1, "dur": 1,'
+            ' "args": {"cut": 3, "modules": "many"}}',
+        ]) + "\n")
+        summary = summarize_trace(path)  # must not raise
+        assert summary.events == 4  # the bare string is not an event
+        assert summary.phases["a"].total_us == 5
+        # Non-int dur coerces to 0; the event still counts.
+        assert summary.phases["?"].count == 1
+
+    def test_trace_summary_cli_empty_file(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "empty.trace.jsonl"
+        path.write_text("")
+        assert main(["trace-summary", str(path)]) == 0
+        assert "no events" in capsys.readouterr().out
