@@ -1,0 +1,229 @@
+"""Service benchmark: cache-hit amortization and request coalescing.
+
+Boots a real ``repro serve`` daemon (subprocess, port 0, ledger off)
+and measures, over the wire:
+
+* **cold miss** — first-ever request per (circuit, seed): pays netlist
+  parse + a full portfolio execution;
+* **cache hit** — the same requests repeated: served from the
+  fingerprint-keyed result cache without touching the runtime;
+* **coalescing** — a burst of identical concurrent requests on a fresh
+  key: the executed-portfolio counter from ``/metrics`` shows the whole
+  burst collapsed into one execution.
+
+Asserted contracts (the service's acceptance criteria):
+
+* hit p50 is at least ``MIN_SPEEDUP``× lower than cold p50;
+* an N-wide identical burst executes exactly 1 portfolio;
+* hit payloads are byte-identical to their cold counterparts
+  (minus the ``cached`` annotation itself).
+
+The report is printed and written to ``BENCH_service.json`` at the
+repo root.  Run directly (``python benchmarks/bench_service.py``) or
+via pytest.  Knobs: ``REPRO_BENCH_SERVICE_SCALE`` (circuit scale,
+default 0.2), ``REPRO_BENCH_SERVICE_HITS`` (hit repeats per key,
+default 20), ``REPRO_BENCH_SERVICE_BURST`` (burst width, default 8).
+"""
+
+import concurrent.futures
+import json
+import os
+import platform
+import signal
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.service import ServiceClient  # noqa: E402
+
+SCALE = float(os.environ.get("REPRO_BENCH_SERVICE_SCALE", "0.2"))
+HIT_REPEATS = int(os.environ.get("REPRO_BENCH_SERVICE_HITS", "20"))
+BURST = int(os.environ.get("REPRO_BENCH_SERVICE_BURST", "8"))
+CIRCUITS = ("primary1", "primary2", "bm1")
+RUNS_PER_REQUEST = 2
+MIN_SPEEDUP = 50.0
+OUTPUT = _ROOT / "BENCH_service.json"
+
+
+def _request_body(circuit: str, seed: int) -> dict:
+    return {"netlist": {"generate": {"name": circuit, "scale": SCALE,
+                                     "seed": 1}},
+            "algorithm": "mlc", "runs": RUNS_PER_REQUEST, "seed": seed}
+
+
+def _percentile(samples, fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _start_server():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_ROOT / "src")
+    env["REPRO_LEDGER"] = "off"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env,
+        text=True)
+    line = proc.stdout.readline()
+    if "listening on" not in line:
+        proc.kill()
+        raise RuntimeError(f"server failed to start: {line!r}")
+    return proc, int(line.rstrip().rsplit(":", 1)[1])
+
+
+def _timed(client: ServiceClient, body: dict):
+    start = time.perf_counter()
+    payload = client.partition(body)
+    return time.perf_counter() - start, payload
+
+
+def run_bench() -> dict:
+    proc, port = _start_server()
+    try:
+        with ServiceClient("127.0.0.1", port, timeout=600) as client:
+            report = _run_against(client, port)
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+    report["meta"]["server_exit_code"] = proc.returncode
+    return report
+
+
+def _run_against(client: ServiceClient, port: int) -> dict:
+    rows = []
+    cold_samples = []
+    hit_samples = []
+    for circuit in CIRCUITS:
+        body = _request_body(circuit, seed=0)
+        cold_s, cold_payload = _timed(client, body)
+        assert not cold_payload["cached"]
+        cold_samples.append(cold_s)
+        times = []
+        for _ in range(HIT_REPEATS):
+            hit_s, hit_payload = _timed(client, body)
+            assert hit_payload["cached"]
+            # A hit is the same result, not a lookalike: everything
+            # but the cache annotation must match the cold payload.
+            stable = {k: v for k, v in hit_payload.items()
+                      if k not in ("cached", "coalesced")}
+            cold_stable = {k: v for k, v in cold_payload.items()
+                           if k not in ("cached", "coalesced")}
+            assert stable == cold_stable, f"cache served a different " \
+                f"payload for {circuit}"
+            times.append(hit_s)
+        hit_samples.extend(times)
+        rows.append({
+            "circuit": circuit,
+            "min_cut": cold_payload["min_cut"],
+            "fingerprint": cold_payload["fingerprint"],
+            "cold_s": round(cold_s, 6),
+            "hit_p50_s": round(_percentile(times, 0.50), 6),
+            "hit_p99_s": round(_percentile(times, 0.99), 6),
+            "speedup_p50": round(cold_s / _percentile(times, 0.50), 1),
+        })
+
+    # -- coalescing burst (fresh key so the cache cannot answer) ------
+    executed_before = client.metric_value(
+        "repro_service_executed_portfolios_total")
+    burst_body = _request_body(CIRCUITS[0], seed=4242)
+    with concurrent.futures.ThreadPoolExecutor(BURST) as pool:
+        # One client per thread: each holds its own socket, so the
+        # requests genuinely overlap on the server.
+        def one(_):
+            with ServiceClient("127.0.0.1", port, timeout=600) as c:
+                return c.partition(burst_body)
+        burst_start = time.perf_counter()
+        payloads = list(pool.map(one, range(BURST)))
+        burst_s = time.perf_counter() - burst_start
+    executed_after = client.metric_value(
+        "repro_service_executed_portfolios_total")
+    burst_executed = int(executed_after - executed_before)
+    fingerprints = {p["fingerprint"] for p in payloads}
+    coalesced_count = sum(bool(p["coalesced"]) for p in payloads)
+    cache_hits = sum(bool(p["cached"]) for p in payloads)
+
+    cold_p50 = _percentile(cold_samples, 0.50)
+    hit_p50 = _percentile(hit_samples, 0.50)
+    return {
+        "meta": {
+            "scale": SCALE,
+            "runs_per_request": RUNS_PER_REQUEST,
+            "hit_repeats": HIT_REPEATS,
+            "burst": BURST,
+            "algorithm": "mlc",
+            "python": platform.python_version(),
+            "contract": f"hit p50 >= {MIN_SPEEDUP:.0f}x lower than cold "
+                        f"p50; identical {BURST}-wide burst executes "
+                        "exactly 1 portfolio",
+        },
+        "results": rows,
+        "coalescing": {
+            "burst": BURST,
+            "executed_portfolios": burst_executed,
+            "coalesced_responses": coalesced_count,
+            "cache_hit_responses": cache_hits,
+            "distinct_fingerprints": len(fingerprints),
+            "burst_wall_s": round(burst_s, 6),
+        },
+        "summary": {
+            "cold_p50_s": round(cold_p50, 6),
+            "cold_p99_s": round(_percentile(cold_samples, 0.99), 6),
+            "hit_p50_s": round(hit_p50, 6),
+            "hit_p99_s": round(_percentile(hit_samples, 0.99), 6),
+            "speedup_p50": round(cold_p50 / hit_p50, 1),
+        },
+    }
+
+
+def print_report(report: dict) -> None:
+    meta = report["meta"]
+    print(f"\npartition service (scale={meta['scale']}, "
+          f"runs/request={meta['runs_per_request']}, "
+          f"{meta['hit_repeats']} hit repeats)")
+    print(f"{'circuit':>10} {'cut':>5} {'cold':>9} {'hit p50':>9} "
+          f"{'hit p99':>9} {'speedup':>8}")
+    for r in report["results"]:
+        print(f"{r['circuit']:>10} {r['min_cut']:5d} {r['cold_s']:9.4f} "
+              f"{r['hit_p50_s']:9.5f} {r['hit_p99_s']:9.5f} "
+              f"{r['speedup_p50']:7.0f}x")
+    s = report["summary"]
+    print(f"overall: cold p50 {s['cold_p50_s']:.4f}s, hit p50 "
+          f"{s['hit_p50_s']:.5f}s -> {s['speedup_p50']:.0f}x")
+    c = report["coalescing"]
+    print(f"coalescing: burst of {c['burst']} identical requests -> "
+          f"{c['executed_portfolios']} executed portfolio(s), "
+          f"{c['coalesced_responses']} coalesced + "
+          f"{c['cache_hit_responses']} cache-hit responses in "
+          f"{c['burst_wall_s']:.3f}s")
+
+
+def test_bench_service():
+    report = run_bench()
+    print_report(report)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    summary = report["summary"]
+    assert summary["speedup_p50"] >= MIN_SPEEDUP, (
+        f"cache-hit p50 {summary['hit_p50_s']:.5f}s is only "
+        f"{summary['speedup_p50']:.1f}x lower than cold p50 "
+        f"{summary['cold_p50_s']:.4f}s (contract: {MIN_SPEEDUP:.0f}x)")
+    coalescing = report["coalescing"]
+    assert coalescing["executed_portfolios"] == 1, (
+        f"identical {coalescing['burst']}-wide burst executed "
+        f"{coalescing['executed_portfolios']} portfolios (contract: 1)")
+    assert coalescing["distinct_fingerprints"] == 1
+    assert report["meta"]["server_exit_code"] == 0
+
+
+if __name__ == "__main__":
+    test_bench_service()

@@ -46,28 +46,27 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .baselines.lsmc import lsmc_bipartition
-from .baselines.spectral import spectral_bipartition
-from .core.config import MLConfig
-from .core.ml import ml_bipartition
-from .core.quadrisection import ml_kway
-from .core.vcycle import ml_vcycle
 from .errors import ReproError
 from .faults import FaultPlan
 from .hypergraph import (Hypergraph, benchmark_names, compute_stats,
                          load_circuit, read_hmetis, read_json,
                          write_hmetis, write_json)
-from .harness.runner import Algorithm
 from .obs import configure_logging
 from .partition import (BalanceConstraint, cut, read_assignment,
                         summarize, write_assignment)
 from .runtime import Portfolio, execute
-from .fm.config import FMConfig
-from .fm.engine import fm_bipartition
+from .solvers import ALGORITHMS, build_algorithm
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "version_string"]
 
-ALGORITHMS = ("mlc", "mlf", "fm", "clip", "lsmc", "spectral")
+
+def version_string() -> str:
+    """``repro <version> (<git sha>)`` — the ``--version``/``/version``
+    identity line, reusing the ledger's cached git-SHA probe."""
+    from . import __version__
+    from .obs import git_sha
+    sha = git_sha()
+    return f"repro {__version__}" + (f" ({sha})" if sha else "")
 
 
 def _read_netlist(path: str) -> Hypergraph:
@@ -89,41 +88,6 @@ def _write_metrics(registry, path: str) -> None:
     except OSError as exc:
         raise ReproError(f"could not write metrics to {path}: {exc}")
     print(f"metrics written to {path}", file=sys.stderr)
-
-
-def _single_run(algorithm: str, hg: Hypergraph, k: int, ratio: float,
-                threshold: int, tolerance: float, descents: int,
-                seed: int, vcycles: int = 0):
-    fm_config = FMConfig(tolerance=tolerance)
-    if k != 2:
-        if algorithm not in ("mlc", "mlf"):
-            raise ReproError(
-                f"k={k} requires a multilevel algorithm (mlc/mlf), "
-                f"got {algorithm!r}")
-        config = MLConfig(engine="clip" if algorithm == "mlc" else "fm",
-                          matching_ratio=ratio,
-                          coarsening_threshold=max(threshold, k),
-                          fm=fm_config)
-        return ml_kway(hg, k=k, config=config, seed=seed)
-    if algorithm in ("mlc", "mlf"):
-        config = MLConfig(engine="clip" if algorithm == "mlc" else "fm",
-                          matching_ratio=ratio,
-                          coarsening_threshold=threshold,
-                          fm=fm_config)
-        if vcycles > 0:
-            return ml_vcycle(hg, cycles=vcycles, config=config, seed=seed)
-        return ml_bipartition(hg, config=config, seed=seed)
-    if algorithm == "fm":
-        return fm_bipartition(hg, config=fm_config, seed=seed)
-    if algorithm == "clip":
-        return fm_bipartition(
-            hg, config=FMConfig(clip=True, tolerance=tolerance), seed=seed)
-    if algorithm == "lsmc":
-        return lsmc_bipartition(hg, descents=descents, config=fm_config,
-                                seed=seed)
-    if algorithm == "spectral":
-        return spectral_bipartition(hg, config=fm_config, seed=seed)
-    raise ReproError(f"unknown algorithm {algorithm!r}")
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -156,11 +120,11 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_partition(args: argparse.Namespace) -> int:
     hg = _read_netlist(args.file)
-    algorithm = Algorithm(
-        args.algorithm,
-        lambda h, s: _single_run(args.algorithm, h, args.k, args.ratio,
-                                 args.threshold, args.tolerance,
-                                 args.descents, s, vcycles=args.vcycles))
+    algorithm = build_algorithm(args.algorithm, k=args.k, ratio=args.ratio,
+                                threshold=args.threshold,
+                                tolerance=args.tolerance,
+                                descents=args.descents,
+                                vcycles=args.vcycles)
     faults = (FaultPlan.parse(args.inject_faults)
               if args.inject_faults else None)
     # --verify recomputes every returned cut from scratch and checks
@@ -351,11 +315,67 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import PartitionServer, ServiceEngine
+    engine = ServiceEngine(jobs=args.jobs,
+                           result_entries=args.cache_size,
+                           spool_dir=args.spool_dir)
+    server = PartitionServer(engine, host=args.host, port=args.port,
+                             drain_seconds=args.drain_seconds)
+    try:
+        asyncio.run(server.run())
+    except KeyboardInterrupt:
+        # Signal handlers already drained; a second Ctrl-C lands here.
+        pass
+    return 0
+
+
+def _parse_server(spec: str) -> tuple:
+    from .service import DEFAULT_PORT
+    host, _, port = spec.rpartition(":")
+    if not host:
+        host, port = spec, ""
+    try:
+        return host or "127.0.0.1", int(port) if port else DEFAULT_PORT
+    except ValueError:
+        raise ReproError(f"bad --server {spec!r} (expected HOST[:PORT])")
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import ServiceClient, inline_netlist
+    host, port = _parse_server(args.server)
+    with ServiceClient(host, port, timeout=args.timeout) as client:
+        if args.action == "health":
+            print(_json.dumps(client.healthz(), indent=2))
+        elif args.action == "version":
+            print(_json.dumps(client.version(), indent=2))
+        elif args.action == "metrics":
+            print(client.metrics(), end="")
+        else:  # partition
+            if not args.file:
+                raise ReproError("client partition needs a netlist FILE")
+            request = {
+                "netlist": {"inline": inline_netlist(_read_netlist(args.file))},
+                "algorithm": args.algorithm,
+                "k": args.k, "runs": args.runs, "seed": args.seed,
+                "ratio": args.ratio, "threshold": args.threshold,
+                "tolerance": args.tolerance,
+            }
+            print(_json.dumps(client.partition(request), indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Multilevel circuit partitioning "
                     "(Alpert/Huang/Kahng 1997 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=version_string())
     # Logging flags are shared by every subcommand (so they can be
     # written after the subcommand name, where users expect them).
     common = argparse.ArgumentParser(add_help=False)
@@ -508,6 +528,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("-o", "--output", default=None,
                        help="write the report here instead of stdout")
     p_rep.set_defaults(fn=_cmd_report)
+
+    p_srv = sub.add_parser(
+        "serve", parents=[common],
+        help="run the partitioning service daemon (HTTP/JSON; "
+             "fingerprint-keyed result cache, request coalescing)")
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    from .service import DEFAULT_PORT as _DEFAULT_PORT
+    p_srv.add_argument("--port", type=int, default=_DEFAULT_PORT,
+                       help=f"bind port (default {_DEFAULT_PORT}; 0 picks "
+                            "a free port, printed on the readiness line)")
+    p_srv.add_argument("-j", "--jobs", type=int, default=1,
+                       help="worker processes per executed portfolio")
+    p_srv.add_argument("--cache-size", type=int, default=256,
+                       metavar="N",
+                       help="result-cache entries before LRU eviction "
+                            "(default 256)")
+    p_srv.add_argument("--spool-dir", default=None, metavar="DIR",
+                       help="directory for served trace files (default: "
+                            "a fresh temp dir)")
+    p_srv.add_argument("--drain-seconds", type=float, default=30.0,
+                       metavar="SEC",
+                       help="graceful-shutdown budget: wait this long "
+                            "for the in-flight portfolio on "
+                            "SIGTERM/SIGINT (default 30)")
+    p_srv.set_defaults(fn=_cmd_serve)
+
+    p_cli = sub.add_parser(
+        "client", parents=[common],
+        help="talk to a running 'repro serve' daemon")
+    p_cli.add_argument("action",
+                       choices=["health", "version", "metrics",
+                                "partition"])
+    p_cli.add_argument("file", nargs="?", default=None,
+                       help="netlist (.hgr/.json) for 'partition' "
+                            "(sent inline)")
+    p_cli.add_argument("--server", default="127.0.0.1",
+                       metavar="HOST[:PORT]",
+                       help=f"daemon address (default "
+                            f"127.0.0.1:{_DEFAULT_PORT})")
+    p_cli.add_argument("--timeout", type=float, default=300.0)
+    p_cli.add_argument("--algorithm", choices=ALGORITHMS, default="mlc")
+    p_cli.add_argument("-k", type=int, default=2)
+    p_cli.add_argument("--runs", type=int, default=1)
+    p_cli.add_argument("--seed", type=int, default=0)
+    p_cli.add_argument("-R", "--ratio", type=float, default=0.5)
+    p_cli.add_argument("-T", "--threshold", type=int, default=35)
+    p_cli.add_argument("--tolerance", type=float, default=0.1)
+    p_cli.set_defaults(fn=_cmd_client)
     return parser
 
 

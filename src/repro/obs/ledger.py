@@ -165,12 +165,12 @@ def build_entry(result, portfolio, jobs: int = 1,
     it.  Pure construction — nothing is written.
     """
     from ..kernels import kernel_mode
+    from ..runtime.records import fingerprint_digest
     cuts = result.cuts
     statuses: Dict[str, int] = {}
     for record in result.records:
         statuses[record.status] = statuses.get(record.status, 0) + 1
-    fingerprint = hashlib.sha256(
-        result.fingerprint().encode("utf-8")).hexdigest()[:16]
+    fingerprint = fingerprint_digest(result.fingerprint())
     entry: Dict[str, object] = {
         "schema": LEDGER_VERSION,
         "kind": "portfolio",

@@ -31,15 +31,19 @@ from .cache import HierarchyCache, default_hierarchy_cache
 from .checkpoint import MatrixCheckpoint
 from .executor import (DEFAULT_COLLECT_TIMEOUT, ProcessExecutor,
                        SerialExecutor, execute, get_executor)
-from .job import Job, Portfolio
+from .job import BatchPortfolio, Job, Portfolio
 from .mlstart import (MLStartAlgorithm, ml_portfolio, ml_reuse_algorithm)
-from .records import (FailureReport, PortfolioResult, RunRecord,
-                      RETRYABLE_STATUSES, STATUS_FAILED, STATUS_INVALID,
-                      STATUS_OK, STATUS_TIMEOUT)
+from .records import (FINGERPRINT_DIGEST_LENGTH, FailureReport,
+                      PortfolioResult, RunRecord, RETRYABLE_STATUSES,
+                      STATUS_FAILED, STATUS_INVALID, STATUS_OK,
+                      STATUS_TIMEOUT, fingerprint_digest)
 
 __all__ = [
     "Job",
     "Portfolio",
+    "BatchPortfolio",
+    "fingerprint_digest",
+    "FINGERPRINT_DIGEST_LENGTH",
     "RunRecord",
     "PortfolioResult",
     "FailureReport",

@@ -23,7 +23,7 @@ from ..errors import ConfigError
 from ..hypergraph import Hypergraph
 from ..rng import SeedLike, child_seeds, stable_seed
 
-__all__ = ["Job", "Portfolio"]
+__all__ = ["Job", "Portfolio", "BatchPortfolio"]
 
 
 @dataclass(frozen=True)
@@ -143,3 +143,40 @@ class Portfolio:
         rng = random.Random(stable_seed("backoff", str(self.seed), index,
                                         attempt))
         return base * (0.5 + 0.5 * rng.random())
+
+
+@dataclass
+class BatchPortfolio(Portfolio):
+    """A portfolio whose start list is supplied explicitly.
+
+    The normal :class:`Portfolio` derives its seeds from one parent
+    seed; a batch portfolio instead carries a caller-built ``job_list``
+    whose seeds may come from *several* parent seeds.  This is the
+    runtime primitive behind the service's request batcher: N
+    same-netlist/same-config requests with different seeds merge their
+    child-seed streams into one executor invocation (one pool spin-up,
+    one shared netlist), and the collector's records are split back per
+    request afterwards.
+
+    Indices must be exactly ``0..runs-1`` in order — the executors key
+    retries, checkpoints, and record ordering on the index, so a batch
+    is position-stable the same way a plain portfolio is.
+    """
+
+    job_list: Optional[List[Job]] = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not self.job_list:
+            raise ConfigError("BatchPortfolio requires a non-empty job_list")
+        if len(self.job_list) != self.runs:
+            raise ConfigError(
+                f"job_list length {len(self.job_list)} != runs {self.runs}")
+        for position, job in enumerate(self.job_list):
+            if job.index != position:
+                raise ConfigError(
+                    f"job_list indices must be 0..runs-1 in order; "
+                    f"position {position} holds index {job.index}")
+
+    def jobs(self) -> List[Job]:
+        return list(self.job_list)

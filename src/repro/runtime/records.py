@@ -18,6 +18,7 @@ outcomes, not partitions).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
@@ -27,8 +28,28 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..harness.runner import CellStats
 
 __all__ = ["RunRecord", "PortfolioResult", "FailureReport",
+           "fingerprint_digest", "FINGERPRINT_DIGEST_LENGTH",
            "STATUS_OK", "STATUS_FAILED", "STATUS_TIMEOUT", "STATUS_INVALID",
            "RETRYABLE_STATUSES"]
+
+#: Hex digits kept from the SHA-256 of a fingerprint.  Shared by the
+#: run ledger and the service result cache so the two always agree on
+#: what "the fingerprint of a run" means.
+FINGERPRINT_DIGEST_LENGTH = 16
+
+
+def fingerprint_digest(fingerprint: str,
+                       length: int = FINGERPRINT_DIGEST_LENGTH) -> str:
+    """SHA-256 hex digest (truncated) of a fingerprint string.
+
+    The one hashing convention for outcome identity: the ledger keys
+    entries on it, the service caches results under it, and
+    ``repro ledger``/``compare`` tooling matches runs by it.  Pinned by
+    a golden-value test — changing this silently would orphan every
+    recorded ledger entry.
+    """
+    return hashlib.sha256(
+        fingerprint.encode("utf-8")).hexdigest()[:length]
 
 #: The start returned a result.
 STATUS_OK = "ok"
@@ -228,6 +249,11 @@ class PortfolioResult:
         lines += [f"{r.index}:{r.seed}:{r.status}:{r.cut}:{r.attempts}"
                   for r in self.records]
         return "\n".join(lines)
+
+    def fingerprint_digest(self) -> str:
+        """The truncated SHA-256 of :meth:`fingerprint` — the form the
+        ledger records and the service cache keys on."""
+        return fingerprint_digest(self.fingerprint())
 
     def failure_report(self) -> FailureReport:
         """Structured summary of every non-surviving start."""

@@ -1,0 +1,62 @@
+"""Partitioning-as-a-service: the ``repro serve`` daemon.
+
+This package turns the portfolio runtime into a long-lived serving
+process — the composition layer over everything the repo already has:
+
+* requests are keyed by the same SHA-256 fingerprint convention the
+  run ledger uses (:func:`repro.runtime.fingerprint_digest`), so a
+  repeated (netlist, config, seed) request is a **cache hit** instead
+  of a recomputation;
+* concurrent identical requests **coalesce** onto one in-flight
+  execution, and concurrent same-netlist/different-seed requests are
+  **batched** into one merged portfolio (one executor invocation, one
+  shared parsed netlist, shared :class:`~repro.runtime.HierarchyCache`
+  entries for ``ml-reuse`` requests);
+* every served run is recorded in the run ledger exactly like a CLI
+  run, scrape-able Prometheus metrics ride on the existing
+  :mod:`repro.obs` registry, and traced requests offer their Perfetto
+  stream for download.
+
+Layers
+------
+* :mod:`.protocol`  — request schema, validation, identity digests.
+* :mod:`.cache`     — LRU result/netlist caches.
+* :mod:`.coalescer` — one in-flight execution per request key.
+* :mod:`.engine`    — execution lane, batching, payload construction.
+* :mod:`.jobs`      — async job handles for ``POST /sweep``.
+* :mod:`.server`    — the asyncio HTTP/1.1 daemon.
+* :mod:`.client`    — blocking stdlib client (``repro client``, bench,
+  CI smoke).
+"""
+
+from .cache import LRUCache, NetlistCache, ResultCache
+from .client import ServiceClient, ServiceError
+from .coalescer import Coalescer
+from .engine import PendingRun, ServiceEngine
+from .jobs import JobTable, ServiceJob
+from .protocol import (NetlistSpec, PartitionRequest, ProtocolError,
+                       SCHEMA_VERSION, canonical_json, inline_netlist,
+                       netlist_digest)
+from .server import DEFAULT_PORT, PartitionServer
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_PORT",
+    "PartitionServer",
+    "ServiceEngine",
+    "ServiceClient",
+    "ServiceError",
+    "PartitionRequest",
+    "NetlistSpec",
+    "ProtocolError",
+    "Coalescer",
+    "LRUCache",
+    "ResultCache",
+    "NetlistCache",
+    "JobTable",
+    "ServiceJob",
+    "PendingRun",
+    "canonical_json",
+    "netlist_digest",
+    "inline_netlist",
+]

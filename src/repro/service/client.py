@@ -1,0 +1,158 @@
+"""A small blocking client for the partition service.
+
+Backs ``repro client`` (smoke use against a running daemon), the
+service benchmark, and the CI smoke step.  Pure stdlib
+(:mod:`http.client`), one keep-alive connection per
+:class:`ServiceClient` instance with a single transparent reconnect —
+enough for scripts and load generators without pulling in an HTTP
+dependency.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """A non-2xx response; ``status`` is the HTTP code."""
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Blocking JSON client bound to one ``host:port``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8349,
+                 timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ------------------------------------------------------
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> http.client.HTTPResponse:
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                return conn.getresponse()
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # Stale keep-alive socket (server restarted, idle
+                # timeout): reconnect once, then give up.
+                self.close()
+                if attempt == 2:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _json(self, method: str, path: str,
+              body: Optional[dict] = None) -> dict:
+        response = self._request(method, path, body)
+        raw = response.read()
+        if response.status >= 400:
+            try:
+                message = json.loads(raw).get("error", raw.decode())
+            except (ValueError, AttributeError):
+                message = raw.decode("utf-8", "replace")
+            raise ServiceError(f"{path}: {message}",
+                               status=response.status)
+        return json.loads(raw)
+
+    # -- endpoints -----------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def version(self) -> dict:
+        return self._json("GET", "/version")
+
+    def metrics(self) -> str:
+        response = self._request("GET", "/metrics")
+        raw = response.read()
+        if response.status >= 400:
+            raise ServiceError(f"/metrics: HTTP {response.status}",
+                               status=response.status)
+        return raw.decode("utf-8")
+
+    def metric_value(self, name: str, **labels) -> float:
+        """Read one sample from the text exposition (0.0 if absent)."""
+        wanted = {f'{k}="{v}"' for k, v in labels.items()}
+        for line in self.metrics().splitlines():
+            if not line.startswith(name):
+                continue
+            rest = line[len(name):]
+            if rest[:1] not in ("{", " "):
+                continue
+            label_part = rest[1:rest.index("}")] if \
+                rest.startswith("{") else ""
+            if wanted and not wanted <= set(label_part.split(",")):
+                continue
+            return float(line.rsplit(" ", 1)[1])
+        return 0.0
+
+    def partition(self, request: dict) -> dict:
+        return self._json("POST", "/partition", request)
+
+    def sweep(self, requests: List[dict]) -> str:
+        return self._json("POST", "/sweep",
+                          {"requests": requests})["job_id"]
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("POST", f"/jobs/{job_id}/cancel")
+
+    def wait_job(self, job_id: str, poll_seconds: float = 0.1,
+                 timeout: float = 600.0) -> dict:
+        """Poll until the job leaves queued/running; return its body."""
+        import time
+        deadline = time.monotonic() + timeout
+        while True:
+            body = self.job(job_id)
+            if body["state"] not in ("queued", "running"):
+                return body
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {body['state']} after "
+                    f"{timeout:g}s")
+            time.sleep(poll_seconds)
+
+    def trace(self, run_id: str) -> bytes:
+        response = self._request("GET", f"/trace/{run_id}")
+        raw = response.read()
+        if response.status >= 400:
+            raise ServiceError(f"/trace/{run_id}: HTTP {response.status}",
+                               status=response.status)
+        return raw

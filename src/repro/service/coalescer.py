@@ -1,0 +1,75 @@
+"""Request coalescing: one in-flight execution per request key.
+
+When N clients ask for the same (netlist, config, seed, runs) at once,
+exactly one of them — the *leader* — executes; the rest await the
+leader's future and share its payload.  Combined with the result cache
+this gives the daemon its amortization shape: the first request pays,
+every concurrent duplicate rides along, every later duplicate hits the
+cache.
+
+Single-threaded by construction: the coalescer lives on the event loop
+and its map is only touched from coroutines, so registration of the
+in-flight future is atomic with respect to other requests — two
+"simultaneous" identical requests can never both become leaders.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict
+
+__all__ = ["Coalescer"]
+
+
+class Coalescer:
+    """In-flight futures keyed by request key."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, asyncio.Future] = {}
+        #: Requests that became leaders (executed something).
+        self.leaders = 0
+        #: Requests that piggybacked on an in-flight leader.
+        self.coalesced = 0
+
+    def inflight(self, key: str) -> bool:
+        return key in self._inflight
+
+    async def run(self, key: str,
+                  factory: Callable[[], Awaitable[object]]) -> object:
+        """Return ``factory()``'s result, sharing one execution per key.
+
+        The leader's exception propagates to every waiter (each gets
+        the same exception object); the in-flight entry is removed
+        before the leader returns, so a retry after a failure executes
+        afresh instead of replaying the failure forever.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            # shield: a waiter being cancelled must not cancel the
+            # leader's future out from under the other waiters.
+            return await asyncio.shield(existing)
+        self.leaders += 1
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        # A leader that fails with zero waiters would otherwise log
+        # "exception was never retrieved" at GC time.
+        future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None)
+        self._inflight[key] = future
+        try:
+            result = await factory()
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+            raise
+        else:
+            if not future.done():
+                future.set_result(result)
+            return result
+        finally:
+            self._inflight.pop(key, None)
+
+    def stats(self) -> Dict[str, int]:
+        return {"inflight": len(self._inflight),
+                "leaders": self.leaders, "coalesced": self.coalesced}

@@ -1,0 +1,443 @@
+"""The service engine: caches, coalescing, batching, and execution.
+
+This is where the daemon composes the existing subsystems into one
+serving pipeline::
+
+    request ──► result cache ──► coalescer ──► execution lane ──► runtime
+                  (hit: copy)     (dup: await    (batch + thread)   (ledger)
+                                   leader)
+
+* The **result cache** (:class:`~repro.service.cache.ResultCache`)
+  returns finished payloads for repeated request keys without touching
+  the runtime at all.
+* The **coalescer** collapses concurrent identical requests into one
+  execution.
+* The **execution lane** is a single consumer draining a pending list
+  through one worker thread.  One portfolio executes at a time — the
+  runtime's process-pool plumbing and the obs singletons are
+  process-wide, so the lane is what makes them safe under a concurrent
+  server — and while the lane is busy, the event loop keeps answering
+  cache hits, health checks, and metric scrapes.
+* **Batching**: when the consumer pops a request, it also takes every
+  queued request with the same (netlist, config) — different seeds
+  welcome — and merges their child-seed streams into one
+  :class:`~repro.runtime.BatchPortfolio`.  Records are split back per
+  request afterwards, re-indexed from zero, so each request's result —
+  and its ledger entry — is byte-identical to a standalone CLI run of
+  the same (netlist, config, seed).
+* Same-netlist requests share one parsed :class:`Hypergraph` via the
+  netlist cache, which is also what lets ``ml-reuse`` requests share a
+  single :class:`~repro.runtime.HierarchyCache` entry (the hierarchy
+  cache keys on ``id(hg)``): many seeds, one coarsening.
+
+Everything the engine executes lands in the run ledger exactly like a
+CLI run — the service is a front-end to the runtime, not a fork of it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+import secrets
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from statistics import median
+from typing import Callable, Dict, List, Optional
+
+from ..obs import get_logger, record_result
+from ..partition import BalanceConstraint
+from ..rng import child_seeds
+from ..runtime import (BatchPortfolio, Job, Portfolio, PortfolioResult,
+                       HierarchyCache, execute, get_executor,
+                       ml_reuse_algorithm)
+from ..solvers import build_algorithm, ml_config_for
+from .cache import NetlistCache, ResultCache
+from .coalescer import Coalescer
+from .protocol import (PartitionRequest, ProtocolError, SCHEMA_VERSION,
+                       canonical_json)
+
+_log = get_logger("service.engine")
+
+__all__ = ["ServiceEngine", "PendingRun"]
+
+#: Counter names the engine tracks (and exports as
+#: ``repro_service_<name>_total``).
+_COUNTERS = ("requests", "cache_hits", "cache_misses", "coalesced",
+             "executed_portfolios", "executed_starts", "batched_requests",
+             "errors")
+
+
+@dataclass
+class PendingRun:
+    """One request waiting on (or executing in) the lane."""
+
+    id: str
+    request: PartitionRequest
+    key: str
+    future: asyncio.Future
+    #: Requests sharing a batch key may merge; ``None`` opts out
+    #: (traced requests need their own portfolio).
+    batch_key: Optional[str] = None
+    trace_path: Optional[str] = None
+    queued_at: float = field(default_factory=time.monotonic)
+
+
+class ExecutionLane:
+    """Single-consumer execution queue with same-group batching."""
+
+    def __init__(self, runner: Callable[[List[PendingRun]], List[dict]]):
+        self._runner = runner
+        self._pending: List[PendingRun] = []
+        self._wake = asyncio.Event()
+        self._task: Optional[asyncio.Task] = None
+        self._busy = False
+        self.draining = False
+
+    def start(self) -> None:
+        self._task = asyncio.get_running_loop().create_task(
+            self._consume(), name="repro-service-lane")
+
+    @property
+    def queued(self) -> int:
+        return len(self._pending)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    async def submit(self, run: PendingRun) -> dict:
+        if self.draining:
+            raise ProtocolError("server is shutting down", status=503)
+        self._pending.append(run)
+        self._wake.set()
+        return await run.future
+
+    async def _consume(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while self._pending:
+                head = self._pending.pop(0)
+                batch = [head]
+                if head.batch_key is not None:
+                    mates = [r for r in self._pending
+                             if r.batch_key == head.batch_key]
+                    for mate in mates:
+                        self._pending.remove(mate)
+                    batch.extend(mates)
+                batch = [r for r in batch if not r.future.done()]
+                if not batch:
+                    continue
+                self._busy = True
+                try:
+                    payloads = await asyncio.to_thread(self._runner, batch)
+                    for run, payload in zip(batch, payloads):
+                        if not run.future.done():
+                            run.future.set_result(payload)
+                except Exception as exc:
+                    for run in batch:
+                        if not run.future.done():
+                            run.future.set_exception(exc)
+                finally:
+                    self._busy = False
+
+    async def drain(self, timeout: float = 30.0) -> bool:
+        """Refuse new work, fail queued runs, wait out the in-flight
+        one.  Returns ``True`` when the lane went quiet in time."""
+        self.draining = True
+        for run in self._pending:
+            if not run.future.done():
+                run.future.set_exception(
+                    ProtocolError("server is shutting down", status=503))
+        self._pending.clear()
+        deadline = time.monotonic() + timeout
+        while self._busy and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        quiet = not self._busy
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._task = None
+        return quiet
+
+
+class ServiceEngine:
+    """Caches + coalescer + lane, bound to the portfolio runtime."""
+
+    def __init__(self, jobs: int = 1, result_entries: int = 256,
+                 netlist_entries: int = 32, hierarchy_entries: int = 8,
+                 spool_dir: Optional[str] = None):
+        self.jobs = jobs
+        self.results = ResultCache(result_entries)
+        self.netlists = NetlistCache(netlist_entries)
+        self.hierarchies = HierarchyCache(hierarchy_entries)
+        self.coalescer = Coalescer()
+        self.lane = ExecutionLane(self._run_batch_sync)
+        self.started_at = time.time()
+        self._spool_dir = spool_dir
+        self._traces: Dict[str, str] = {}
+        self._ids = itertools.count(1)
+        self._counters = {name: 0 for name in _COUNTERS}
+        self._counter_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Start the lane's consumer (call from the running loop)."""
+        self.lane.start()
+
+    async def drain(self, timeout: float = 30.0) -> bool:
+        return await self.lane.drain(timeout)
+
+    # -- serving -------------------------------------------------------
+
+    async def serve(self, request: PartitionRequest) -> dict:
+        """Serve one partition request through cache → coalescer →
+        lane.  Returns a fresh payload dict the caller may annotate."""
+        self._count("requests")
+        key = request.request_key()
+        if request.trace:
+            # Traced requests always execute (the trace file is the
+            # point) and never join a batch or populate the cache.
+            out = dict(await self._submit(request, key, traced=True))
+        else:
+            cached = self.results.get(key)
+            if cached is not None:
+                self._count("cache_hits")
+                out = dict(cached)
+                out["cached"] = True
+                return self._trim(out, request)
+            self._count("cache_misses")
+            piggyback = self.coalescer.inflight(key)
+            if piggyback:
+                self._count("coalesced")
+
+            async def factory() -> dict:
+                payload = await self._submit(request, key)
+                self.results.put(key, payload)
+                return payload
+
+            out = dict(await self.coalescer.run(key, factory))
+            out["cached"] = False
+            out["coalesced"] = piggyback
+        return self._trim(out, request)
+
+    @staticmethod
+    def _trim(out: dict, request: PartitionRequest) -> dict:
+        # Payloads carry the best assignment internally (so a cache
+        # entry can satisfy either answer shape); ``include_assignment``
+        # is honored per request, not per cache entry — it is
+        # deliberately absent from the request key.
+        if not request.include_assignment:
+            out.pop("assignment", None)
+        return out
+
+    async def _submit(self, request: PartitionRequest, key: str,
+                      traced: bool = False) -> dict:
+        run_id = f"r{next(self._ids):06d}-{secrets.token_hex(3)}"
+        run = PendingRun(
+            id=run_id, request=request, key=key,
+            future=asyncio.get_running_loop().create_future(),
+            batch_key=None if traced else request.batch_key(),
+            trace_path=self._trace_path(run_id) if traced else None)
+        return await self.lane.submit(run)
+
+    # -- execution (lane worker thread) --------------------------------
+
+    def _run_batch_sync(self, batch: List[PendingRun]) -> List[dict]:
+        """Execute a batch of same-(netlist, config) requests.
+
+        Runs on the lane's worker thread — the only place the engine
+        touches the portfolio runtime.
+        """
+        request0 = batch[0].request
+        hg = self.netlists.resolve(canonical_json(request0.netlist.key),
+                                   request0.netlist.load)
+        algorithm = self._algorithm_for(request0, hg)
+        try:
+            if len(batch) == 1:
+                payloads = [self._run_single(batch[0], hg, algorithm)]
+            else:
+                payloads = self._run_merged(batch, hg, algorithm)
+        except ProtocolError:
+            self._count("errors")
+            raise
+        return payloads
+
+    def _algorithm_for(self, request: PartitionRequest, hg):
+        if request.mode == "ml-reuse":
+            config = ml_config_for(request.algorithm, request.ratio,
+                                   request.threshold, request.tolerance)
+            hierarchy = self.hierarchies.get(hg, config,
+                                             request.hierarchy_seed)
+            return ml_reuse_algorithm(config, hierarchy)
+        return build_algorithm(request.algorithm, k=request.k,
+                               ratio=request.ratio,
+                               threshold=request.threshold,
+                               tolerance=request.tolerance,
+                               descents=request.descents,
+                               vcycles=request.vcycles)
+
+    def _run_single(self, run: PendingRun, hg, algorithm) -> dict:
+        request = run.request
+        portfolio = Portfolio(algorithm=algorithm, hg=hg,
+                              runs=request.runs, seed=request.seed,
+                              keep_results=True, trace=run.trace_path)
+        result = execute(portfolio, jobs=self.jobs)
+        self._count("executed_portfolios")
+        self._count("executed_starts", result.runs)
+        if run.trace_path is not None:
+            self._traces[run.id] = run.trace_path
+        return self._payload(run, result, hg)
+
+    def _run_merged(self, batch: List[PendingRun], hg,
+                    algorithm) -> List[dict]:
+        """One executor invocation covering every request's seed
+        stream; records split back per request afterwards."""
+        job_list: List[Job] = []
+        offsets: List[int] = []
+        for run in batch:
+            offsets.append(len(job_list))
+            seeds = child_seeds(run.request.seed, run.request.runs)
+            base = len(job_list)
+            job_list.extend(Job(index=base + i, seed=s)
+                            for i, s in enumerate(seeds))
+        merged = BatchPortfolio(algorithm=algorithm, hg=hg,
+                                runs=len(job_list),
+                                seed=batch[0].request.seed,
+                                keep_results=True, job_list=job_list)
+        executor = get_executor(self.jobs)
+        result = executor.run(merged)
+        self._count("executed_portfolios")
+        self._count("executed_starts", len(job_list))
+        self._count("batched_requests", len(batch))
+        _log.info("batched %d requests (%d starts) on %s",
+                  len(batch), len(job_list), hg.name)
+        payloads = []
+        for run, offset in zip(batch, offsets):
+            n = run.request.runs
+            records = [replace(result.records[offset + i], index=i)
+                       for i in range(n)]
+            sub = PortfolioResult(
+                algorithm=merged.name, circuit=hg.name, records=records,
+                wall_seconds=sum(r.wall_seconds for r in records),
+                jobs=executor.jobs)
+            # Each request is ledger-recorded as its own portfolio —
+            # same entry a standalone CLI run would have written.
+            portfolio = Portfolio(algorithm=algorithm, hg=hg, runs=n,
+                                  seed=run.request.seed, keep_results=True)
+            record_result(sub, portfolio, jobs=executor.jobs)
+            payloads.append(self._payload(run, sub, hg))
+        return payloads
+
+    def _payload(self, run: PendingRun, result: PortfolioResult,
+                 hg) -> dict:
+        request = run.request
+        if not result.ok_records:
+            first = result.records[0] if result.records else None
+            raise ProtocolError(
+                f"all {result.runs} runs failed"
+                + (f": {first.error}" if first is not None else ""),
+                status=500)
+        statuses: Dict[str, int] = {}
+        for record in result.records:
+            statuses[record.status] = statuses.get(record.status, 0) + 1
+        cuts = result.cuts
+        payload: Dict[str, object] = {
+            "schema": SCHEMA_VERSION,
+            "id": run.id,
+            "algorithm": result.algorithm,
+            "circuit": result.circuit,
+            "k": request.k,
+            "runs": request.runs,
+            "seed": request.seed,
+            "mode": request.mode,
+            "cuts": list(cuts),
+            "min_cut": min(cuts),
+            "median_cut": median(cuts),
+            "statuses": statuses,
+            "fingerprint": result.fingerprint_digest(),
+            "request_key": run.key,
+            "wall_seconds": round(result.wall_seconds, 6),
+            "cpu_seconds": round(result.cpu_seconds, 6),
+            "cached": False,
+            "coalesced": False,
+        }
+        best = result.best
+        if best.result is not None:
+            partition = best.result.partition
+            areas = partition.part_areas(hg)
+            constraint = BalanceConstraint.from_tolerance(
+                hg, request.tolerance, k=request.k)
+            payload["part_areas"] = [round(a, 6) for a in areas]
+            payload["balanced"] = constraint.is_feasible(areas)
+            payload["assignment"] = list(partition.assignment)
+        if run.trace_path is not None:
+            payload["trace"] = f"/trace/{run.id}"
+        return payload
+
+    # -- traces --------------------------------------------------------
+
+    def _trace_path(self, run_id: str) -> str:
+        if self._spool_dir is None:
+            self._spool_dir = tempfile.mkdtemp(prefix="repro-serve-")
+        else:
+            os.makedirs(self._spool_dir, exist_ok=True)
+        return os.path.join(self._spool_dir, f"{run_id}.trace.jsonl")
+
+    def trace_file(self, run_id: str) -> Path:
+        path = self._traces.get(run_id)
+        if path is None or not os.path.exists(path):
+            raise ProtocolError(f"no trace for run {run_id!r}", status=404)
+        return Path(path)
+
+    # -- accounting ----------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._counter_lock:
+            self._counters[name] += amount
+
+    def counters(self) -> Dict[str, int]:
+        with self._counter_lock:
+            return dict(self._counters)
+
+    def stats(self) -> Dict[str, object]:
+        """The ``/healthz`` diagnostics block."""
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "jobs": self.jobs,
+            "lane": {"queued": self.lane.queued, "busy": self.lane.busy,
+                     "draining": self.lane.draining},
+            "counters": self.counters(),
+            "result_cache": self.results.stats(),
+            "netlist_cache": self.netlists.stats(),
+            "hierarchy_cache": {"entries": len(self.hierarchies),
+                                "hits": self.hierarchies.hits,
+                                "misses": self.hierarchies.misses},
+            "coalescer": self.coalescer.stats(),
+        }
+
+    def export_metrics(self, registry) -> None:
+        """Sync engine counters/cache stats into ``registry`` (called
+        at scrape time, so the text exposition always reflects now)."""
+        for name, value in self.counters().items():
+            registry.counter(f"repro_service_{name}_total",
+                             f"Service {name.replace('_', ' ')}."
+                             ).value = float(value)
+        for label, cache in (("result", self.results),
+                             ("netlist", self.netlists)):
+            stats = cache.stats()
+            for stat in ("entries", "hits", "misses", "evictions"):
+                registry.gauge("repro_service_cache_" + stat,
+                               "Service cache " + stat + ", by cache.",
+                               cache=label).set(float(stats[stat]))
+        registry.gauge("repro_service_lane_queued",
+                       "Requests waiting on the execution lane."
+                       ).set(float(self.lane.queued))

@@ -1,0 +1,117 @@
+"""Async job handles: ``POST /sweep`` returns one, ``GET /jobs/<id>``
+polls it, ``POST /jobs/<id>/cancel`` cancels it.
+
+A :class:`ServiceJob` wraps an :class:`asyncio.Task`; the table keeps a
+bounded history of finished jobs so a client polling a moment after
+completion still finds its result.  Cancellation is cooperative at the
+request granularity: sub-requests not yet executing are abandoned, the
+one currently on the execution lane's worker thread runs to completion
+(a fork pool cannot be safely interrupted mid-portfolio) and its
+result is discarded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import secrets
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .protocol import ProtocolError
+
+__all__ = ["ServiceJob", "JobTable",
+           "JOB_QUEUED", "JOB_RUNNING", "JOB_DONE", "JOB_FAILED",
+           "JOB_CANCELLED"]
+
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+
+
+@dataclass
+class ServiceJob:
+    """One asynchronous unit of server work."""
+
+    id: str
+    kind: str
+    state: str = JOB_QUEUED
+    created: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    total: int = 1
+    done: int = 0
+    result: Optional[object] = None
+    error: Optional[str] = None
+    task: Optional[asyncio.Task] = None
+    trace_path: Optional[str] = None
+
+    def describe(self) -> Dict[str, object]:
+        """The ``GET /jobs/<id>`` body."""
+        body: Dict[str, object] = {
+            "id": self.id, "kind": self.kind, "state": self.state,
+            "total": self.total, "done": self.done,
+        }
+        if self.started is not None and self.finished is not None:
+            body["wall_seconds"] = round(self.finished - self.started, 6)
+        if self.state == JOB_DONE:
+            body["result"] = self.result
+        if self.error is not None:
+            body["error"] = self.error
+        if self.trace_path is not None:
+            body["trace"] = f"/trace/{self.id}"
+        return body
+
+
+class JobTable:
+    """Live and recently-finished jobs, keyed by id."""
+
+    def __init__(self, max_finished: int = 256):
+        self.max_finished = max_finished
+        self._jobs: Dict[str, ServiceJob] = {}
+        self._ids = itertools.count(1)
+
+    def create(self, kind: str, total: int = 1) -> ServiceJob:
+        job = ServiceJob(id=f"j{next(self._ids):06d}-"
+                            f"{secrets.token_hex(4)}",
+                         kind=kind, total=total)
+        self._jobs[job.id] = job
+        self._prune()
+        return job
+
+    def get(self, job_id: str) -> ServiceJob:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ProtocolError(f"unknown job {job_id!r}", status=404)
+        return job
+
+    def cancel(self, job_id: str) -> ServiceJob:
+        """Cancel a queued/running job; finished jobs are left alone."""
+        job = self.get(job_id)
+        if job.state in (JOB_QUEUED, JOB_RUNNING):
+            if job.task is not None and not job.task.done():
+                job.task.cancel()
+            job.state = JOB_CANCELLED
+            job.finished = time.time()
+        return job
+
+    def live(self) -> int:
+        return sum(1 for j in self._jobs.values()
+                   if j.state in (JOB_QUEUED, JOB_RUNNING))
+
+    def values(self):
+        return list(self._jobs.values())
+
+    def _prune(self) -> None:
+        """Drop the oldest *finished* jobs beyond the history bound
+        (live jobs are never evicted)."""
+        finished = [j for j in self._jobs.values()
+                    if j.state in (JOB_DONE, JOB_FAILED, JOB_CANCELLED)]
+        excess = len(finished) - self.max_finished
+        if excess > 0:
+            finished.sort(key=lambda j: j.finished or j.created)
+            for job in finished[:excess]:
+                del self._jobs[job.id]

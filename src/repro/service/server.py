@@ -1,0 +1,403 @@
+"""The ``repro serve`` daemon: a hand-rolled asyncio HTTP/1.1 server.
+
+No web framework — the protocol surface is six JSON endpoints and a
+text scrape, small enough that :func:`asyncio.start_server` plus ~100
+lines of request parsing beats a dependency.  Connections are
+keep-alive (clients hammering the cache reuse their socket); bodies
+are bounded; every response carries ``Content-Length``.
+
+Endpoints
+---------
+* ``POST /partition`` — synchronous partition request (cache →
+  coalesce → execute); body per
+  :class:`~repro.service.protocol.PartitionRequest`.
+* ``POST /sweep`` — ``{"requests": [...]}``; answers immediately with
+  a job id, sub-requests run concurrently through the same pipeline
+  (which is what lets the lane batch them).
+* ``GET /jobs/<id>`` — job state/result; ``POST /jobs/<id>/cancel``.
+* ``GET /metrics`` — Prometheus text exposition of the service
+  registry (runtime metrics included: the registry is installed as
+  the process-wide obs singleton while the server runs).
+* ``GET /trace/<id>`` — download the trace of a ``"trace": true`` run.
+* ``GET /healthz`` — liveness + engine diagnostics; 503 once draining.
+* ``GET /version`` — package version + git SHA.
+
+Shutdown
+--------
+SIGTERM/SIGINT trigger a graceful drain: stop accepting, fail queued
+work with 503, wait for the in-flight portfolio (its ledger line is
+written by the worker thread before the loop exits), then close.  A
+second signal aborts immediately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import socket
+import time
+from typing import Dict, Optional, Tuple
+
+from ..obs import MetricsRegistry, get_logger, set_metrics
+from .engine import ServiceEngine
+from .jobs import (JOB_CANCELLED, JOB_DONE, JOB_FAILED, JOB_RUNNING,
+                   JobTable, ServiceJob)
+from .protocol import PartitionRequest, ProtocolError
+
+_log = get_logger("service.server")
+
+__all__ = ["PartitionServer", "DEFAULT_PORT"]
+
+DEFAULT_PORT = 8349
+
+#: Request line + headers cap.
+_MAX_HEADER_BYTES = 16 * 1024
+#: Request body cap (inline netlists are the big case).
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                404: "Not Found", 405: "Method Not Allowed",
+                408: "Request Timeout", 413: "Payload Too Large",
+                500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+async def _read_request(reader: asyncio.StreamReader
+                        ) -> Optional[Tuple[str, str, Dict[str, str],
+                                            bytes]]:
+    """Parse one request; ``None`` on clean EOF (client went away)."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise _HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise _HttpError(413, "request head too large")
+    if len(head) > _MAX_HEADER_BYTES:
+        raise _HttpError(413, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise _HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise _HttpError(400, f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length = headers.get("content-length", "0")
+    try:
+        body_len = int(length)
+    except ValueError:
+        raise _HttpError(400, f"bad Content-Length {length!r}")
+    if body_len < 0 or body_len > _MAX_BODY_BYTES:
+        raise _HttpError(413, f"body of {body_len} bytes exceeds limit")
+    body = await reader.readexactly(body_len) if body_len else b""
+    return method, target, headers, body
+
+
+def _response(status: int, payload: bytes, content_type: str,
+              keep_alive: bool) -> bytes:
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n")
+    return head.encode("latin-1") + payload
+
+
+def _json_bytes(obj) -> bytes:
+    return json.dumps(obj, sort_keys=True).encode("utf-8")
+
+
+class PartitionServer:
+    """The long-lived serving process around a :class:`ServiceEngine`."""
+
+    def __init__(self, engine: Optional[ServiceEngine] = None,
+                 host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 drain_seconds: float = 30.0):
+        self.engine = engine if engine is not None else ServiceEngine()
+        self.host = host
+        self.port = port
+        self.drain_seconds = drain_seconds
+        self.jobs = JobTable()
+        self.registry = MetricsRegistry()
+        self.draining = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._previous_metrics = None
+        self._shutdown_event: Optional[asyncio.Event] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start serving (non-blocking).
+
+        With ``port=0`` the OS picks a free port; ``self.port`` is
+        updated to the bound one.
+        """
+        self._previous_metrics = set_metrics(self.registry)
+        self.engine.start()
+        self._shutdown_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port,
+            limit=_MAX_HEADER_BYTES)
+        bound = [s for s in self._server.sockets
+                 if s.family in (socket.AF_INET, socket.AF_INET6)]
+        if bound:
+            self.port = bound[0].getsockname()[1]
+        _log.info("serving on http://%s:%d", self.host, self.port)
+
+    async def serve_forever(self, install_signals: bool = True) -> None:
+        """Block until a signal (or :meth:`request_shutdown`), then
+        drain gracefully."""
+        assert self._shutdown_event is not None, "call start() first"
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.request_shutdown)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass  # e.g. non-main thread; rely on KeyboardInterrupt
+        await self._shutdown_event.wait()
+        await self.shutdown()
+
+    def request_shutdown(self) -> None:
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: refuse new work, finish the in-flight
+        portfolio (so its ledger line is complete), then close."""
+        if self.draining:
+            return
+        self.draining = True
+        _log.info("draining: refusing new requests")
+        if self._server is not None:
+            self._server.close()
+        for job in self.jobs.values():
+            if job.state in (JOB_RUNNING,) and job.task is not None:
+                job.task.cancel()
+        quiet = await self.engine.drain(self.drain_seconds)
+        if not quiet:
+            _log.warning("drain timed out after %gs with a portfolio "
+                         "still executing", self.drain_seconds)
+        if self._server is not None:
+            await self._server.wait_closed()
+        set_metrics(self._previous_metrics)
+        _log.info("shutdown complete")
+
+    async def run(self) -> None:
+        """``start()`` + readiness line + ``serve_forever()`` — the
+        ``repro serve`` entry point."""
+        await self.start()
+        # The readiness line is machine-read (tests, benchmarks, CI
+        # smoke): keep the format stable.
+        print(f"repro-serve listening on http://{self.host}:{self.port}",
+              flush=True)
+        await self.serve_forever()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    parsed = await _read_request(reader)
+                except _HttpError as exc:
+                    writer.write(_response(
+                        exc.status, _json_bytes({"error": str(exc)}),
+                        "application/json", keep_alive=False))
+                    await writer.drain()
+                    return
+                if parsed is None:
+                    return
+                method, target, headers, body = parsed
+                status, payload, content_type = await self._dispatch(
+                    method, target, body)
+                keep_alive = headers.get("connection", "").lower() != \
+                    "close" and not self.draining
+                writer.write(_response(status, payload, content_type,
+                                       keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, method: str, target: str,
+                        body: bytes) -> Tuple[int, bytes, str]:
+        path = target.split("?", 1)[0]
+        started = time.perf_counter()
+        endpoint = path.split("/", 2)[1] if "/" in path else ""
+        try:
+            status, payload, content_type = await self._route(
+                method, path, body)
+        except ProtocolError as exc:
+            status = exc.status
+            payload = _json_bytes({"error": str(exc)})
+            content_type = "application/json"
+        except Exception as exc:  # never kill the connection loop
+            _log.exception("unhandled error serving %s %s", method, path)
+            status = 500
+            payload = _json_bytes({"error": f"internal error: {exc}"})
+            content_type = "application/json"
+        self.registry.counter(
+            "repro_service_requests_total",
+            "HTTP requests served, by endpoint and status code.",
+            endpoint=endpoint or "root", code=str(status)).inc()
+        self.registry.histogram(
+            "repro_service_request_seconds",
+            "Request handling latency, by endpoint.",
+            endpoint=endpoint or "root"
+        ).observe(time.perf_counter() - started)
+        return status, payload, content_type
+
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> Tuple[int, bytes, str]:
+        if path == "/healthz":
+            return self._healthz(method)
+        if path == "/version":
+            self._expect(method, "GET")
+            from ..obs import git_sha
+            from .. import __version__
+            return 200, _json_bytes({
+                "name": "repro", "version": __version__,
+                "git_sha": git_sha(),
+            }), "application/json"
+        if path == "/metrics":
+            self._expect(method, "GET")
+            return 200, self._render_metrics(), \
+                "text/plain; version=0.0.4; charset=utf-8"
+        if path == "/partition":
+            self._expect(method, "POST")
+            return await self._partition(body)
+        if path == "/sweep":
+            self._expect(method, "POST")
+            return await self._sweep(body)
+        if path.startswith("/jobs/"):
+            return await self._jobs_endpoint(method, path)
+        if path.startswith("/trace/"):
+            self._expect(method, "GET")
+            run_id = path[len("/trace/"):]
+            data = self.engine.trace_file(run_id).read_bytes()
+            return 200, data, "application/jsonl"
+        raise ProtocolError(f"no such endpoint {path!r}", status=404)
+
+    @staticmethod
+    def _expect(method: str, expected: str) -> None:
+        if method != expected:
+            raise ProtocolError(f"method {method} not allowed "
+                                f"(use {expected})", status=405)
+
+    def _healthz(self, method: str) -> Tuple[int, bytes, str]:
+        self._expect(method, "GET")
+        status = 503 if self.draining else 200
+        return status, _json_bytes({
+            "status": "draining" if self.draining else "ok",
+            **self.engine.stats(),
+            "jobs_live": self.jobs.live(),
+        }), "application/json"
+
+    def _render_metrics(self) -> bytes:
+        self.engine.export_metrics(self.registry)
+        # The lane's worker thread appends runtime metrics while we
+        # render; a mid-iteration insert is rare but possible.
+        for _ in range(3):
+            try:
+                return self.registry.render_prometheus().encode("utf-8")
+            except RuntimeError:
+                continue
+        return b"# metrics temporarily unavailable\n"
+
+    # -- request endpoints ---------------------------------------------
+
+    def _parse_body(self, body: bytes) -> object:
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}")
+
+    async def _partition(self, body: bytes) -> Tuple[int, bytes, str]:
+        if self.draining:
+            raise ProtocolError("server is shutting down", status=503)
+        request = PartitionRequest.from_json(self._parse_body(body))
+        payload = await self.engine.serve(request)
+        return 200, _json_bytes(payload), "application/json"
+
+    async def _sweep(self, body: bytes) -> Tuple[int, bytes, str]:
+        if self.draining:
+            raise ProtocolError("server is shutting down", status=503)
+        data = self._parse_body(body)
+        if not isinstance(data, dict) or "requests" not in data:
+            raise ProtocolError(
+                "sweep body must be {\"requests\": [...]}")
+        items = data["requests"]
+        if not isinstance(items, list) or not items:
+            raise ProtocolError("sweep 'requests' must be a non-empty list")
+        if len(items) > 10_000:
+            raise ProtocolError("sweep is limited to 10000 requests")
+        requests = [PartitionRequest.from_json(item) for item in items]
+        job = self.jobs.create("sweep", total=len(requests))
+        job.task = asyncio.get_running_loop().create_task(
+            self._run_sweep(job, requests))
+        return 202, _json_bytes({"job_id": job.id, "state": job.state,
+                                 "total": job.total}), "application/json"
+
+    async def _run_sweep(self, job: ServiceJob,
+                         requests: list) -> None:
+        job.state = JOB_RUNNING
+        job.started = time.time()
+
+        async def one(request: PartitionRequest) -> dict:
+            try:
+                payload = await self.engine.serve(request)
+            except ProtocolError as exc:
+                payload = {"error": str(exc), "status": exc.status}
+            job.done += 1
+            return payload
+
+        try:
+            # Concurrent submission is deliberate: simultaneous
+            # same-netlist sub-requests are what the lane batches.
+            results = await asyncio.gather(*(one(r) for r in requests))
+            job.result = {"results": list(results)}
+            job.state = JOB_DONE
+        except asyncio.CancelledError:
+            job.state = JOB_CANCELLED
+            job.error = "cancelled"
+        except Exception as exc:
+            job.state = JOB_FAILED
+            job.error = str(exc)
+            _log.exception("sweep job %s failed", job.id)
+        finally:
+            job.finished = time.time()
+
+    async def _jobs_endpoint(self, method: str,
+                             path: str) -> Tuple[int, bytes, str]:
+        rest = path[len("/jobs/"):]
+        if rest.endswith("/cancel"):
+            self._expect(method, "POST")
+            job = self.jobs.cancel(rest[:-len("/cancel")])
+        else:
+            self._expect(method, "GET")
+            job = self.jobs.get(rest)
+        return 200, _json_bytes(job.describe()), "application/json"

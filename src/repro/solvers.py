@@ -1,0 +1,100 @@
+"""Name-to-algorithm resolution shared by the CLI and the service.
+
+The CLI's ``repro partition`` and the daemon's ``POST /partition`` must
+produce *fingerprint-identical* results for the same (netlist, config,
+seed) — that is the service's correctness contract, and the only way to
+guarantee it is for both to build their runnable from the same code.
+This module is that one place: :func:`single_run` maps an algorithm
+name plus the paper's knobs to one seeded execution, and
+:func:`build_algorithm` wraps it as the :class:`~repro.harness.runner.
+Algorithm` shape the portfolio runtime consumes.
+"""
+
+from __future__ import annotations
+
+from .baselines.lsmc import lsmc_bipartition
+from .baselines.spectral import spectral_bipartition
+from .core.config import MLConfig
+from .core.ml import ml_bipartition
+from .core.quadrisection import ml_kway
+from .core.vcycle import ml_vcycle
+from .errors import ReproError
+from .fm.config import FMConfig
+from .fm.engine import fm_bipartition
+from .harness.runner import Algorithm
+from .hypergraph import Hypergraph
+
+__all__ = ["ALGORITHMS", "single_run", "build_algorithm", "ml_config_for"]
+
+#: Algorithm names accepted by the CLI and the service protocol.
+ALGORITHMS = ("mlc", "mlf", "fm", "clip", "lsmc", "spectral")
+
+
+def ml_config_for(algorithm: str, ratio: float = 0.5, threshold: int = 35,
+                  tolerance: float = 0.1, k: int = 0) -> MLConfig:
+    """The :class:`MLConfig` a multilevel algorithm name resolves to.
+
+    ``k`` raises the coarsening floor for k-way runs (a hierarchy must
+    bottom out with at least k clusters); bipartitioning passes no k
+    and keeps the threshold untouched.
+    """
+    return MLConfig(engine="clip" if algorithm == "mlc" else "fm",
+                    matching_ratio=ratio,
+                    coarsening_threshold=max(threshold, k),
+                    fm=FMConfig(tolerance=tolerance))
+
+
+def single_run(algorithm: str, hg: Hypergraph, k: int = 2,
+               ratio: float = 0.5, threshold: int = 35,
+               tolerance: float = 0.1, descents: int = 20,
+               seed: int = 0, vcycles: int = 0):
+    """One seeded run of ``algorithm`` on ``hg`` with the paper's knobs.
+
+    Raises :class:`ReproError` for unknown names or invalid
+    algorithm/k combinations — the shared validation both entry points
+    rely on.
+    """
+    fm_config = FMConfig(tolerance=tolerance)
+    if k != 2:
+        if algorithm not in ("mlc", "mlf"):
+            raise ReproError(
+                f"k={k} requires a multilevel algorithm (mlc/mlf), "
+                f"got {algorithm!r}")
+        config = ml_config_for(algorithm, ratio, threshold, tolerance, k=k)
+        return ml_kway(hg, k=k, config=config, seed=seed)
+    if algorithm in ("mlc", "mlf"):
+        config = ml_config_for(algorithm, ratio, threshold, tolerance)
+        if vcycles > 0:
+            return ml_vcycle(hg, cycles=vcycles, config=config, seed=seed)
+        return ml_bipartition(hg, config=config, seed=seed)
+    if algorithm == "fm":
+        return fm_bipartition(hg, config=fm_config, seed=seed)
+    if algorithm == "clip":
+        return fm_bipartition(
+            hg, config=FMConfig(clip=True, tolerance=tolerance), seed=seed)
+    if algorithm == "lsmc":
+        return lsmc_bipartition(hg, descents=descents, config=fm_config,
+                                seed=seed)
+    if algorithm == "spectral":
+        return spectral_bipartition(hg, config=fm_config, seed=seed)
+    raise ReproError(f"unknown algorithm {algorithm!r}")
+
+
+def build_algorithm(algorithm: str, k: int = 2, ratio: float = 0.5,
+                    threshold: int = 35, tolerance: float = 0.1,
+                    descents: int = 20, vcycles: int = 0) -> Algorithm:
+    """An :class:`Algorithm` running :func:`single_run` with these knobs.
+
+    The returned object's ``name`` is the bare algorithm name — what
+    the CLI has always recorded in the ledger — so service-run and
+    CLI-run portfolios of the same cell aggregate together.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ReproError(f"unknown algorithm {algorithm!r} "
+                         f"(expected one of {', '.join(ALGORITHMS)})")
+    return Algorithm(
+        algorithm,
+        lambda h, s: single_run(algorithm, h, k=k, ratio=ratio,
+                                threshold=threshold, tolerance=tolerance,
+                                descents=descents, seed=s,
+                                vcycles=vcycles))
