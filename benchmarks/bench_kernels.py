@@ -1,7 +1,8 @@
-"""Kernel benchmark baseline: reference vs CSR kernels, per hot path.
+"""Kernel benchmark baseline: reference vs CSR vs NumPy, per hot path.
 
-Times the four kernels of the coarsen–refine hot path in both kernel
-modes (``repro.kernels``) on the Table I-calibrated synthetic suite:
+Times the four kernels of the coarsen–refine hot path in every kernel
+mode of :data:`repro.kernels.KERNEL_MODES` on the Table I-calibrated
+synthetic suite:
 
 * ``state_init``  — :class:`~repro.partition.PartitionState`
   construction (counts/spans/objectives from scratch);
@@ -12,17 +13,22 @@ modes (``repro.kernels``) on the Table I-calibrated synthetic suite:
 * ``ml_end_to_end`` — :func:`~repro.core.ml.ml_bipartition`, the MLc
   configuration the paper's Table VI/VIII measure.
 
-Every cell is a best-of-``REPEATS`` wall-clock pair (reference first,
-then CSR), and the two modes' *results* are asserted identical — the
-bit-identity contract means the benchmark doubles as an oracle run.
-The table is printed and written to ``BENCH_kernels.json`` at the repo
-root, the file that tracks the repo's kernel-performance trajectory.
+Every cell is a best-of-``REPEATS`` wall-clock figure, and results are
+asserted identical *within a cut class* (``repro.kernels.cut_class``):
+``csr``/``reference`` are bit-identical everywhere; ``numpy`` matches
+them on ``state_init`` and ``coarsen`` (order-preserving kernels) and
+pins its own refinement outcomes (DESIGN.md §13).  The benchmark
+doubles as an oracle run for both contracts.  The table is printed,
+and script runs (``python benchmarks/bench_kernels.py``) write it to
+``BENCH_kernels.json`` at the repo root — the file that tracks the
+repo's kernel-performance trajectory, committed from a
+``REPRO_BENCH_SCALE=0.3`` run; pytest passes only overwrite it when
+``REPRO_BENCH_WRITE=1``.
 
-Run directly (``python benchmarks/bench_kernels.py``) or via pytest.
 Environment knobs: ``REPRO_BENCH_SCALE`` (default 0.05, the mini-suite
 scale), ``REPRO_BENCH_KERNEL_REPEATS`` (default 3),
 ``REPRO_BENCH_KERNEL_CIRCUITS`` (comma-separated subset of the mini
-suite).
+suite), ``REPRO_BENCH_WRITE`` (write the JSON from a pytest run).
 """
 
 import json
@@ -34,7 +40,7 @@ from pathlib import Path
 from repro import MLConfig, build_hierarchy, ml_bipartition
 from repro.fm import fm_bipartition
 from repro.hypergraph import load_circuit, mini_suite_names
-from repro.kernels import use_kernels
+from repro.kernels import KERNEL_MODES, cut_class, use_kernels
 from repro.partition import PartitionState, random_partition
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
@@ -42,6 +48,11 @@ REPEATS = int(os.environ.get("REPRO_BENCH_KERNEL_REPEATS", "3"))
 SEED = 7
 CONFIG = MLConfig(engine="clip")
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+#: Kernels whose results must be bit-identical across *all* modes (the
+#: order-preserving vectorizations); the refinement kernels only have
+#: to agree within a cut class.
+_ORDER_PRESERVING = ("state_init", "coarsen")
 
 
 def _circuit_names():
@@ -87,6 +98,7 @@ def _best_of(fn):
 
 
 def run_bench():
+    modes = list(KERNEL_MODES)
     rows = []
     circuits = {}
     for name in _circuit_names():
@@ -94,20 +106,34 @@ def run_bench():
         circuits[name] = {"modules": hg.num_modules, "nets": hg.num_nets,
                           "pins": hg.num_pins}
         for kernel, fn in _kernels(hg):
-            with use_kernels("reference"):
-                t_ref, v_ref = _best_of(fn)
-            with use_kernels("csr"):
-                t_csr, v_csr = _best_of(fn)
-            assert v_csr == v_ref, (
-                f"kernel modes diverged on {name}/{kernel}")
-            rows.append({
-                "circuit": name,
-                "kernel": kernel,
-                "reference_s": round(t_ref, 6),
-                "csr_s": round(t_csr, 6),
-                "speedup": round(t_ref / t_csr, 3) if t_csr else None,
-                "identical": True,
-            })
+            times = {}
+            values = {}
+            for mode in modes:
+                with use_kernels(mode):
+                    times[mode], values[mode] = _best_of(fn)
+            # Identity contracts: equal within a cut class everywhere,
+            # equal across classes for the order-preserving kernels.
+            by_class = {}
+            for mode in modes:
+                by_class.setdefault(cut_class(mode), []).append(mode)
+            for cls, members in by_class.items():
+                for mode in members[1:]:
+                    assert values[mode] == values[members[0]], (
+                        f"{cls} modes diverged on {name}/{kernel}")
+            if kernel in _ORDER_PRESERVING:
+                for mode in modes[1:]:
+                    assert values[mode] == values[modes[0]], (
+                        f"order-preserving kernel {name}/{kernel} "
+                        f"diverged across modes")
+            row = {"circuit": name, "kernel": kernel}
+            for mode in modes:
+                row[f"{mode}_s"] = round(times[mode], 6)
+            baseline = times["reference"]
+            row["speedup"] = {
+                mode: round(baseline / times[mode], 3) if times[mode]
+                else None
+                for mode in modes if mode != "reference"}
+            rows.append(row)
 
     largest = max(circuits, key=lambda n: circuits[n]["modules"])
     headline = next(r for r in rows
@@ -120,42 +146,69 @@ def run_bench():
             "seed": SEED,
             "config": "MLc (engine=clip)",
             "python": platform.python_version(),
-            "modes": ["reference", "csr"],
+            "modes": modes,
         },
         "circuits": circuits,
         "results": rows,
         "summary": {
             "largest_circuit": largest,
-            "ml_end_to_end_speedup": headline["speedup"],
+            "ml_end_to_end_speedup": headline["speedup"]["csr"],
+            "ml_end_to_end_speedup_numpy": headline["speedup"]["numpy"],
+            "numpy_vs_csr": round(
+                headline["csr_s"] / headline["numpy_s"], 3)
+            if headline["numpy_s"] else None,
         },
     }
     return report
 
 
 def print_report(report):
+    modes = report["meta"]["modes"]
     print(f"\nkernel benchmark (scale={report['meta']['scale']}, "
           f"best of {report['meta']['repeats']})")
-    header = f"{'circuit':>10} {'kernel':>14} {'ref':>9} {'csr':>9} {'x':>6}"
+    header = f"{'circuit':>10} {'kernel':>14}"
+    for mode in modes:
+        header += f" {mode[:9]:>9}"
+    header += f" {'csr x':>7} {'numpy x':>8}"
     print(header)
     for r in report["results"]:
-        print(f"{r['circuit']:>10} {r['kernel']:>14} "
-              f"{r['reference_s']:9.4f} {r['csr_s']:9.4f} "
-              f"{r['speedup']:6.2f}")
+        line = f"{r['circuit']:>10} {r['kernel']:>14}"
+        for mode in modes:
+            line += f" {r[f'{mode}_s']:9.4f}"
+        line += (f" {r['speedup']['csr']:7.2f}"
+                 f" {r['speedup']['numpy']:8.2f}")
+        print(line)
     s = report["summary"]
     print(f"largest circuit {s['largest_circuit']}: "
-          f"{s['ml_end_to_end_speedup']:.2f}x end-to-end MLc")
+          f"csr {s['ml_end_to_end_speedup']:.2f}x, "
+          f"numpy {s['ml_end_to_end_speedup_numpy']:.2f}x end-to-end MLc "
+          f"(numpy vs csr {s['numpy_vs_csr']:.2f}x)")
+
+
+def write_report(report):
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
 
 
 def test_bench_kernels():
     report = run_bench()
     print_report(report)
-    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {OUTPUT}")
-    # Bit-identity is asserted per cell inside run_bench; here only a
-    # loose sanity bound so a loaded CI box cannot flake the suite —
-    # the committed BENCH_kernels.json records the real (>=2x) ratio.
+    # The committed BENCH_kernels.json is generated by a script run at
+    # REPRO_BENCH_SCALE=0.3 (where the headline ratios hold); a
+    # default-scale pytest pass must not quietly replace it, so the
+    # suite only overwrites on explicit request.
+    if os.environ.get("REPRO_BENCH_WRITE", "").lower() in ("1", "true"):
+        write_report(report)
+    # Identity is asserted per cell inside run_bench; here only a loose
+    # sanity bound so a loaded CI box cannot flake the suite — the
+    # committed BENCH_kernels.json records the real ratios.
     assert report["summary"]["ml_end_to_end_speedup"] > 1.0
+    assert report["summary"]["ml_end_to_end_speedup_numpy"] > 1.0
 
 
 if __name__ == "__main__":
-    test_bench_kernels()
+    report = run_bench()
+    print_report(report)
+    write_report(report)
+    assert report["summary"]["ml_end_to_end_speedup"] > 1.0
+    assert report["summary"]["ml_end_to_end_speedup_numpy"] > 1.0

@@ -16,13 +16,17 @@ back to the best prefix of the pass.  Passes repeat until one fails to
 improve the cut.
 
 Every hot kernel — initial gains, boundary scan, the two-phase gain
-update loop of a pass — exists in two families selected by
+update loop of a pass — exists in families selected by
 :mod:`repro.kernels`: the default CSR family binds the flat incidence
 layer (``hg.csr``) into locals and inlines the per-pin gain bumps; the
 ``_reference`` family preserves the original accessor-walking code as
-the correctness oracle and benchmark baseline.  The two families run
-the same arithmetic in the same order (identical move sequences,
-identical RNG draws), which the golden-cut tests pin.
+the correctness oracle and benchmark baseline.  Those two run the same
+arithmetic in the same order (identical move sequences, identical RNG
+draws), which the golden-cut tests pin.  The ``numpy`` mode keeps the
+same sequential pass on small netlists but replaces it with the
+batched vectorized loop of :mod:`repro.fm.npengine` above
+``NP_ENGINE_MIN_MODULES`` modules (its own golden cuts; DESIGN.md
+§13).
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..errors import PartitionError
 from ..hypergraph import Hypergraph
-from ..kernels import csr_enabled, kernel_mode
+from ..kernels import csr_enabled, kernel_mode, numpy_enabled
 from ..obs import metrics, tracer
 from ..partition import (BalanceConstraint, Partition, PartitionState, cut,
                          random_partition)
@@ -42,6 +46,7 @@ from ..partition.rebalance import rebalance_random
 from ..rng import SeedLike, make_rng
 from .buckets import _NIL, LinkedListBuckets, make_buckets
 from .config import FMConfig
+from .npengine import NP_ENGINE_MIN_MODULES, batch_refine, repair_balance
 
 __all__ = ["FMResult", "fm_bipartition"]
 
@@ -129,6 +134,21 @@ def _initial_gains(state: PartitionState) -> List[int]:
     if not csr_enabled():
         return [_module_gain_reference(state, v)
                 for v in state.hg.modules()]
+    if numpy_enabled() and state.k == 2:
+        # Vectorized twin: one pin-parallel contribution sweep plus a
+        # bincount reduction.  Integer adds commute, so the vector is
+        # elementwise identical to both scalar kernels.
+        import numpy as np
+        npv = state.hg.csr.np
+        part = np.asarray(state.part_of, dtype=np.int8)
+        c0, c1 = npv.counts2(part)
+        if len(state._active_nets) == npv.num_nets:
+            pin_w = npv.pin_weights(None)
+        else:
+            mask = np.zeros(npv.num_nets, dtype=bool)
+            mask[np.asarray(state._active_nets, dtype=np.int64)] = True
+            pin_w = np.where(mask, npv.net_weights, 0)[npv.net_ids]
+        return npv.initial_gains2(part, c0, c1, pin_w).tolist()
     # Single flat sweep: no per-module function call, no per-pin
     # accessor dispatch.  When every net is active (the usual case)
     # the per-visit flag test disappears as well.
@@ -943,10 +963,53 @@ def fm_bipartition(hg: Hypergraph,
     if fixed is not None and len(fixed) != hg.num_modules:
         raise PartitionError(
             f"fixed has length {len(fixed)}, expected {hg.num_modules}")
+    np_batch = (numpy_enabled() and config.lookahead == 1
+                and hg.num_modules >= NP_ENGINE_MIN_MODULES)
     if not balance.is_feasible(initial.part_areas(hg)):
-        movable = [not f for f in fixed] if fixed is not None else None
-        initial = rebalance_random(hg, initial, balance, rng=rng,
-                                   movable=movable)
+        repaired = (repair_balance(hg, initial, config, balance, fixed)
+                    if np_batch else None)
+        if repaired is not None:
+            initial = repaired
+        else:
+            movable = [not f for f in fixed] if fixed is not None else None
+            initial = rebalance_random(hg, initial, balance, rng=rng,
+                                       movable=movable)
+
+    if np_batch:
+        # Batched vectorized pass loop (see npengine): no buckets, no
+        # PartitionState — the whole pass runs on ndarray snapshots.
+        # Small netlists and lookahead configurations stay on the
+        # sequential CSR pass below.
+        initial_cut = cut(hg, initial)
+        assignment, internal_cut, passes, total_moves, pass_cuts = \
+            batch_refine(hg, initial, config, balance, fixed, tr)
+        final = Partition(assignment, 2)
+        final_cut = cut(hg, final)
+        if trace_on:
+            tr.end("fm.run", t_run, {
+                "modules": hg.num_modules, "mode": kernel_mode(),
+                "clip": config.clip, "passes": passes,
+                "moves": total_moves, "initial_cut": initial_cut,
+                "cut": final_cut,
+            })
+        if mx.enabled:
+            mode = kernel_mode()
+            mx.counter("repro_fm_runs_total",
+                       "FM engine invocations", mode=mode).inc()
+            mx.counter("repro_fm_passes_total",
+                       "FM passes executed", mode=mode).inc(passes)
+            mx.counter("repro_fm_moves_total",
+                       "FM moves attempted", mode=mode).inc(total_moves)
+            mx.histogram("repro_fm_run_seconds",
+                         "Wall time of one FM invocation",
+                         mode=mode).observe(time.perf_counter() - wall0)
+        return FMResult(partition=final,
+                        cut=final_cut,
+                        internal_cut=internal_cut,
+                        initial_cut=initial_cut,
+                        passes=passes,
+                        total_moves=total_moves,
+                        pass_cuts=pass_cuts)
 
     use_csr = csr_enabled()
     active_list = _active_nets(hg, config.max_net_size)

@@ -49,30 +49,35 @@ __all__ = ["CSRIncidence"]
 class CSRIncidence:
     """Read-only flat incidence view over one immutable hypergraph."""
 
-    __slots__ = ("num_modules", "num_nets", "num_pins",
+    __slots__ = ("_hg", "num_modules", "num_nets", "num_pins",
                  "_xpins", "_pins_flat", "_xnets", "_nets_flat",
                  "_net_weights_arr", "_net_sizes_arr", "_areas_arr",
-                 "net_pins", "module_nets",
-                 "weights_list", "sizes_list", "areas_list",
+                 "_net_pins_t", "_module_nets_t", "_sizes_l",
+                 "weights_list", "areas_list",
                  "_active_cache", "_maxdeg_cache", "_all_nets",
-                 "_incidence_cache")
+                 "_incidence_cache", "_np_view")
 
     def __init__(self, hg) -> None:
-        net_pins = hg._net_pins
-        module_nets = hg._module_nets
-
-        self.num_modules = len(module_nets)
-        self.num_nets = len(net_pins)
-        sizes = [len(p) for p in net_pins]
-        self.num_pins = sum(sizes)
+        self._hg = hg
+        self.num_modules = hg.num_modules
+        self.num_nets = hg.num_nets
+        self.num_pins = hg.num_pins
 
         # Kernel twins share the hypergraph's own (immutable) lists and
         # tuples — no copy, and list indexing returns existing objects.
+        # Flat-built netlists (the numpy-mode coarsening path) defer
+        # the tuple twins: they materialise through the hypergraph's
+        # lazy properties only if a scalar kernel actually asks.
         self.weights_list = hg._net_weights
-        self.sizes_list = sizes
         self.areas_list = hg._areas
-        self.net_pins = net_pins
-        self.module_nets = module_nets
+        if hg._net_pins_s is not None:
+            self._net_pins_t = hg._net_pins_s
+            self._module_nets_t = hg._module_nets
+            self._sizes_l = [len(p) for p in hg._net_pins_s]
+        else:
+            self._net_pins_t = None
+            self._module_nets_t = None
+            self._sizes_l = None
 
         # The compact array exports are built lazily: the pure-Python
         # kernels never touch them, so eager construction would charge
@@ -89,6 +94,43 @@ class CSRIncidence:
         self._maxdeg_cache: Dict[Optional[int], int] = {}
         self._all_nets: Optional[Tuple[int, ...]] = None
         self._incidence_cache: Dict[Optional[int], list] = {}
+        self._np_view = None
+
+    # ------------------------------------------------------------------
+    # Kernel twins (lazy for flat-built netlists).
+    # ------------------------------------------------------------------
+
+    @property
+    def net_pins(self) -> list:
+        """Per-net pin tuples (the scalar kernels' pin layout)."""
+        pins = self._net_pins_t
+        if pins is None:
+            pins = self._hg._net_pins
+            self._net_pins_t = pins
+        return pins
+
+    @property
+    def module_nets(self) -> list:
+        """Per-module incident-net tuples."""
+        nets = self._module_nets_t
+        if nets is None:
+            nets = self._hg._module_nets
+            self._module_nets_t = nets
+        return nets
+
+    @property
+    def sizes_list(self) -> list:
+        """Per-net pin counts as a plain list."""
+        sizes = self._sizes_l
+        if sizes is None:
+            flat = self._hg._flat
+            if flat is not None:
+                xpins = flat[0]
+                sizes = (xpins[1:] - xpins[:-1]).tolist()
+            else:
+                sizes = [len(p) for p in self.net_pins]
+            self._sizes_l = sizes
+        return sizes
 
     # ------------------------------------------------------------------
     # Compact array exports (lazy).
@@ -160,6 +202,20 @@ class CSRIncidence:
         if self._areas_arr is None:
             self._areas_arr = array("d", self.areas_list)
         return self._areas_arr
+
+    @property
+    def np(self):
+        """NumPy export of this view (lazy, cached; see ``npview``)."""
+        view = self._np_view
+        if view is None:
+            from .npview import NumpyIncidence
+            flat = self._hg._flat
+            if flat is not None:
+                view = NumpyIncidence._from_flat(self, flat[0], flat[1])
+            else:
+                view = NumpyIncidence(self)
+            self._np_view = view
+        return view
 
     # ------------------------------------------------------------------
     # Reconstruction helpers (the equivalence contract, used by tests).

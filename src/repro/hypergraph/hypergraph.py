@@ -47,9 +47,9 @@ class Hypergraph:
         Optional circuit name used in reports.
     """
 
-    __slots__ = ("name", "_net_pins", "_module_nets", "_areas",
-                 "_net_weights", "_num_pins", "_total_area", "_max_area",
-                 "_csr")
+    __slots__ = ("name", "_net_pins_s", "_module_nets_s", "_flat",
+                 "_areas", "_net_weights", "_num_pins", "_total_area",
+                 "_max_area", "_csr")
 
     def __init__(self,
                  nets: Iterable[Iterable[int]],
@@ -114,8 +114,9 @@ class Hypergraph:
                 module_nets[v].append(e)
 
         self.name = name
-        self._net_pins = net_pins
-        self._module_nets = [tuple(ns) for ns in module_nets]
+        self._net_pins_s = net_pins
+        self._module_nets_s = [tuple(ns) for ns in module_nets]
+        self._flat = None
         self._areas = area_list
         self._net_weights = weight_list
         self._num_pins = sum(len(p) for p in net_pins)
@@ -141,8 +142,9 @@ class Hypergraph:
             for v in pins:
                 module_nets[v].append(e)
         self.name = name
-        self._net_pins = net_pins
-        self._module_nets = [tuple(ns) for ns in module_nets]
+        self._net_pins_s = net_pins
+        self._module_nets_s = [tuple(ns) for ns in module_nets]
+        self._flat = None
         self._areas = areas
         self._net_weights = net_weights
         self._num_pins = sum(len(p) for p in net_pins)
@@ -150,6 +152,62 @@ class Hypergraph:
         self._max_area = max(areas) if areas else 0.0
         self._csr = None
         return self
+
+    @classmethod
+    def _from_flat(cls, xpins, pins_flat,
+                   areas: List[float], net_weights: List[int],
+                   name: str = "") -> "Hypergraph":
+        """Construct from pre-validated flat pin arrays (ndarrays).
+
+        The ``numpy`` kernel path of :func:`repro.clustering.induce`
+        produces coarse netlists directly in CSR form (net ``e``'s pins
+        are ``pins_flat[xpins[e]:xpins[e+1]]``, sorted and distinct).
+        The tuple incidence structures — which only the scalar kernels
+        read — are materialised lazily on first access, so a multilevel
+        run under the ``numpy`` kernels never pays for building them on
+        the large levels.  Same invariants as :meth:`_trusted`.
+        """
+        self = cls.__new__(cls)
+        self.name = name
+        self._net_pins_s = None
+        self._module_nets_s = None
+        self._flat = (xpins, pins_flat)
+        self._areas = areas
+        self._net_weights = net_weights
+        self._num_pins = len(pins_flat)
+        self._total_area = sum(areas)
+        self._max_area = max(areas) if areas else 0.0
+        self._csr = None
+        return self
+
+    # ------------------------------------------------------------------
+    # Lazy tuple incidence (scalar-kernel layout).
+    # ------------------------------------------------------------------
+
+    @property
+    def _net_pins(self) -> List[Tuple[int, ...]]:
+        """Per-net pin tuples, materialised on demand for flat builds."""
+        pins = self._net_pins_s
+        if pins is None:
+            xpins, pins_flat = self._flat
+            xl = xpins.tolist()
+            pl = pins_flat.tolist()
+            pins = [tuple(pl[a:b]) for a, b in zip(xl, xl[1:])]
+            self._net_pins_s = pins
+        return pins
+
+    @property
+    def _module_nets(self) -> List[Tuple[int, ...]]:
+        """Per-module net tuples, materialised on demand for flat builds."""
+        nets = self._module_nets_s
+        if nets is None:
+            module_nets: List[List[int]] = [[] for _ in self._areas]
+            for e, pins in enumerate(self._net_pins):
+                for v in pins:
+                    module_nets[v].append(e)
+            nets = [tuple(ns) for ns in module_nets]
+            self._module_nets_s = nets
+        return nets
 
     # ------------------------------------------------------------------
     # Size characteristics (Table I columns).
@@ -163,7 +221,7 @@ class Hypergraph:
     @property
     def num_nets(self) -> int:
         """Number of nets ``|E|``."""
-        return len(self._net_pins)
+        return len(self._net_weights)
 
     @property
     def num_pins(self) -> int:

@@ -1,38 +1,50 @@
 """Kernel-mode registry for the coarsen–refine hot path.
 
-The partitioning engines have two interchangeable implementations of
+The partitioning engines have three interchangeable implementations of
 every hot kernel:
 
 * ``"csr"`` (default) — kernels consume the flat-array incidence layer
   of :class:`repro.hypergraph.csr.CSRIncidence` (``Hypergraph.csr``):
   per-kernel local bindings of the materialised pin/net/weight/area
   vectors, no per-pin method dispatch.
+* ``"numpy"`` — vectorized kernels over the NumPy export of the same
+  flat arrays (:class:`repro.hypergraph.npview.NumpyIncidence`,
+  ``Hypergraph.csr.np``): whole-netlist sweeps become array ops
+  (``bincount``/``add.at``/``lexsort``), and the FM pass loop becomes
+  a batched gain-descent on large netlists (:mod:`repro.fm.npengine`).
+  Kernels that are pure integer counting (partition-state init,
+  initial gains) and the coarsening scorer are bit-identical to
+  ``"csr"``; the batched refinement diverges in tie-breaking and
+  carries its own golden cuts (DESIGN.md §13).
 * ``"reference"`` — the original tuple-of-tuples kernels, preserved
-  verbatim.  They exist as a correctness oracle (every result must be
-  bit-identical between the two modes: same cuts, same RNG draws) and
-  as the "before" timing baseline for ``benchmarks/bench_kernels.py``.
+  verbatim.  They exist as a correctness oracle and as the "before"
+  timing baseline for ``benchmarks/bench_kernels.py``.
 
 The mode is a process-global switch sampled at kernel-entry time (per
 FM call / per :class:`~repro.partition.PartitionState` construction,
 never per pin), so switching costs nothing on the hot path.  Worker
 processes of the parallel runtime inherit the mode through ``fork``.
 
-Determinism contract: the two modes execute the *same arithmetic in
-the same order* and draw from ``random.Random`` streams at the same
-points, so golden-cut tests pinned under one mode hold under both.
+Determinism contract: every mode is deterministic — position-stable
+per-start seed streams and stable result fingerprints for a fixed
+mode.  ``"csr"`` and ``"reference"`` additionally execute the *same
+arithmetic in the same order*, so golden cuts pinned under one hold
+under the other; ``"numpy"`` matches them for every order-preserving
+kernel but pins separate goldens where the batched refinement's
+tie-breaking differs (see :func:`cut_class`).
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Optional
 
 from .errors import ConfigError
 
 __all__ = ["KERNEL_MODES", "kernel_mode", "set_kernel_mode",
-           "use_kernels", "csr_enabled"]
+           "use_kernels", "csr_enabled", "numpy_enabled", "cut_class"]
 
-KERNEL_MODES = ("csr", "reference")
+KERNEL_MODES = ("csr", "reference", "numpy")
 
 _mode = "csr"
 
@@ -43,17 +55,57 @@ def kernel_mode() -> str:
 
 
 def csr_enabled() -> bool:
-    """True when the flat CSR kernels are selected (the default)."""
-    return _mode == "csr"
+    """True when the flat CSR incidence layer backs the kernels.
+
+    Both ``"csr"`` and ``"numpy"`` satisfy this: the vectorized
+    kernels twin a *subset* of the hot path, and every kernel without
+    a NumPy twin runs its CSR implementation (never the reference
+    one) under ``"numpy"`` mode.
+    """
+    return _mode != "reference"
+
+
+def numpy_enabled() -> bool:
+    """True when the vectorized NumPy kernels are selected."""
+    return _mode == "numpy"
+
+
+def _have_numpy() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        return False
+    return True
 
 
 def set_kernel_mode(mode: str) -> None:
-    """Select ``"csr"`` or ``"reference"`` kernels process-wide."""
+    """Select ``"csr"``, ``"reference"``, or ``"numpy"`` process-wide."""
     global _mode
     if mode not in KERNEL_MODES:
         raise ConfigError(
             f"unknown kernel mode {mode!r}; expected one of {KERNEL_MODES}")
+    if mode == "numpy" and not _have_numpy():  # pragma: no cover
+        raise ConfigError("kernel mode 'numpy' requires the numpy package")
     _mode = mode
+
+
+def cut_class(mode: Optional[str] = None) -> str:
+    """Equivalence class of ``mode`` (default: current mode) under the
+    golden-cut contract.
+
+    ``"csr"`` and ``"reference"`` run identical arithmetic in identical
+    order, so their results are bit-equal and share the class
+    ``"scalar"``; ``"numpy"``'s batched refinement breaks ties
+    differently and forms its own class.  Anything keyed on *outcomes*
+    (service result caches, golden tests) must distinguish cut classes
+    — and must not split any finer, or equal results would stop
+    deduplicating.
+    """
+    mode = _mode if mode is None else mode
+    if mode not in KERNEL_MODES:
+        raise ConfigError(
+            f"unknown kernel mode {mode!r}; expected one of {KERNEL_MODES}")
+    return "numpy" if mode == "numpy" else "scalar"
 
 
 @contextmanager

@@ -25,7 +25,11 @@ One JSON object per line.  Stable identity fields: ``schema``,
 ``kind``, ``algorithm``, ``circuit``, ``runs``, ``jobs``, ``seed``,
 ``fingerprint`` (SHA-256 of :meth:`PortfolioResult.fingerprint`, the
 scheduling-independent outcome digest), ``config_hash``, ``git_sha``,
-``kernel_mode``, ``statuses``, ``cuts``/``min_cut``/``median_cut``.
+``kernel_mode``, ``numpy_version`` (``None`` when numpy is absent —
+the vectorized kernels' results depend on it the way scalar results
+depend on the Python version), ``statuses``,
+``cuts``/``min_cut``/``median_cut``.  Readers treat every field as
+optional, so entries written before a field existed stay readable.
 Volatile fields (excluded by :func:`stable_view`, the
 "byte-stable modulo timestamps" contract): ``ts``, ``wall_seconds``,
 ``cpu_seconds``, ``run_wall``, ``run_cpu``, ``phases``.
@@ -117,6 +121,17 @@ def git_sha(cwd: Union[str, Path, None] = None) -> Optional[str]:
     return _GIT_SHA_CACHE[key]
 
 
+def _numpy_version() -> Optional[str]:
+    """Installed numpy version, or ``None`` — stamped into every entry
+    so numpy-mode fingerprints can be audited against the library that
+    produced them."""
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        return None
+    return numpy.__version__
+
+
 def _config_hash(portfolio, jobs: int) -> str:
     """Digest of the knobs that shape a portfolio's outcomes.
 
@@ -184,6 +199,7 @@ def build_entry(result, portfolio, jobs: int = 1,
         "config_hash": _config_hash(portfolio, jobs),
         "git_sha": git_sha(),
         "kernel_mode": kernel_mode(),
+        "numpy_version": _numpy_version(),
         "statuses": statuses,
         "cuts": list(cuts),
         "min_cut": min(cuts) if cuts else None,

@@ -13,7 +13,7 @@ from typing import Sequence
 
 from ..errors import PartitionError
 from ..hypergraph import Hypergraph
-from ..kernels import csr_enabled
+from ..kernels import csr_enabled, numpy_enabled
 from .solution import Partition
 
 __all__ = ["cut", "soed", "spans"]
@@ -41,6 +41,20 @@ def cut(hg: Hypergraph, partition: Partition) -> int:
     _check(hg, partition)
     assignment = partition.assignment
     total = 0
+    if numpy_enabled():
+        # A net is cut iff its pins' parts are not all equal; per-net
+        # segment min/max over the flat pin array answers that for any
+        # k.  Integer comparisons only, so the result is exact and
+        # identical to the scalar sweeps.
+        import numpy as np
+        view = hg.csr.np
+        if view.num_nets == 0:
+            return 0
+        pin_parts = np.asarray(assignment, dtype=np.int64)[view.pins_flat]
+        starts = view.xpins[:-1]
+        lo = np.minimum.reduceat(pin_parts, starts)
+        hi = np.maximum.reduceat(pin_parts, starts)
+        return int(view.net_weights[lo != hi].sum())
     if csr_enabled():
         # Final-quality measurement runs once per engine call but over
         # *all* nets (large ones re-included), so it shows up in

@@ -14,14 +14,15 @@ LSMC descents) share.  A state may be restricted to a subset of
 (200 in the paper) and measure final quality on the full netlist via
 :mod:`repro.partition.objectives`.
 
-Two kernel families implement the O(pins) construction sweep and the
-O(pins(v)) move (see :mod:`repro.kernels`): the default binds the flat
-CSR incidence layer (``hg.csr``) locally and performs only index
-operations per pin; the reference family preserves the original
-per-call accessor walk (``hg.pins(e)`` / ``hg.net_weight(e)``) as the
-correctness oracle and benchmark baseline.  Both execute identical
-arithmetic in identical order, so every cached quantity — and every
-downstream RNG draw — is bit-identical between them.
+Three kernel families implement the O(pins) construction sweep (see
+:mod:`repro.kernels`): the default binds the flat CSR incidence layer
+(``hg.csr``) locally and performs only index operations per pin; the
+numpy family computes the k==2 tallies as whole-netlist ``bincount``
+reductions over ``hg.csr.np``; the reference family preserves the
+original per-call accessor walk (``hg.pins(e)`` / ``hg.net_weight(e)``)
+as the correctness oracle and benchmark baseline.  All construction
+sweeps are integer sums, so every cached quantity — and every
+downstream RNG draw — is bit-identical across the three.
 """
 
 from __future__ import annotations
@@ -30,7 +31,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..errors import PartitionError
 from ..hypergraph import Hypergraph
-from ..kernels import csr_enabled
+from ..kernels import csr_enabled, numpy_enabled
 from .solution import Partition
 
 __all__ = ["PartitionState"]
@@ -96,10 +97,33 @@ class PartitionState:
         self.spans: List[int] = [0] * hg.num_nets
         self.cut_weight = 0
         self.soed_weight = 0
-        if self._view is not None:
+        if self._view is not None and self.k == 2 and numpy_enabled():
+            self._init_counts_numpy()
+        elif self._view is not None:
             self._init_counts_csr()
         else:
             self._init_counts_reference()
+
+    def _init_counts_numpy(self) -> None:
+        """Vectorized k==2 construction sweep (bit-identical: the
+        tallies, spans, and objectives are integer sums, which commute
+        regardless of reduction order)."""
+        import numpy as np
+        view = self._view.np
+        part = np.asarray(self.part_of, dtype=np.int8)
+        c0, c1 = view.counts2(part)
+        if len(self._active_nets) != view.num_nets:
+            mask = np.zeros(view.num_nets, dtype=bool)
+            mask[np.asarray(self._active_nets, dtype=np.int64)] = True
+            c0 = np.where(mask, c0, 0)
+            c1 = np.where(mask, c1, 0)
+        spans = (c0 > 0).astype(np.int64) + (c1 > 0)
+        cut_nets = spans > 1
+        weights = view.net_weights
+        self.cut_weight = int(weights[cut_nets].sum())
+        self.soed_weight = int((weights * spans)[cut_nets].sum())
+        self.counts = [c0.tolist(), c1.tolist()]
+        self.spans = spans.tolist()
 
     def _init_counts_csr(self) -> None:
         """Construction sweep over the flat incidence layer."""

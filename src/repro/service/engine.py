@@ -173,8 +173,16 @@ class ServiceEngine:
 
     def __init__(self, jobs: int = 1, result_entries: int = 256,
                  netlist_entries: int = 32, hierarchy_entries: int = 8,
-                 spool_dir: Optional[str] = None):
+                 spool_dir: Optional[str] = None,
+                 kernels: Optional[str] = None):
         self.jobs = jobs
+        # Kernel mode is process-global and fork-inherited, so it must
+        # be pinned before the first executor pool spawns workers; the
+        # lane re-asserts it per batch in case anything else flipped it.
+        self.kernels = kernels
+        if kernels is not None:
+            from ..kernels import set_kernel_mode
+            set_kernel_mode(kernels)
         self.results = ResultCache(result_entries)
         self.netlists = NetlistCache(netlist_entries)
         self.hierarchies = HierarchyCache(hierarchy_entries)
@@ -257,6 +265,9 @@ class ServiceEngine:
         Runs on the lane's worker thread — the only place the engine
         touches the portfolio runtime.
         """
+        if self.kernels is not None:
+            from ..kernels import set_kernel_mode
+            set_kernel_mode(self.kernels)
         request0 = batch[0].request
         hg = self.netlists.resolve(canonical_json(request0.netlist.key),
                                    request0.netlist.load)

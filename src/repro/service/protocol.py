@@ -289,12 +289,21 @@ class PartitionRequest:
 
     def config_key(self) -> Dict[str, object]:
         """The outcome-shaping knobs *minus* seed and runs — the level
-        at which same-netlist requests are batchable."""
+        at which same-netlist requests are batchable.
+
+        ``kernels`` is the *cut class* of the process's current kernel
+        mode, not the mode itself: ``csr`` and ``reference`` are
+        bit-identical so their cached results must keep deduplicating,
+        while ``numpy``'s batched refinement can break ties differently
+        and so must never be served a scalar-mode answer (or vice
+        versa).
+        """
+        from ..kernels import cut_class
         key = {
             "algorithm": self.algorithm, "k": self.k, "ratio": self.ratio,
             "threshold": self.threshold, "tolerance": self.tolerance,
             "vcycles": self.vcycles, "descents": self.descents,
-            "mode": self.mode,
+            "mode": self.mode, "kernels": cut_class(),
         }
         if self.mode == "ml-reuse":
             key["hierarchy_seed"] = self.hierarchy_seed

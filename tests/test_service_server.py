@@ -127,6 +127,40 @@ class TestEndpoints:
         assert entries[1]["fingerprint"] == served["fingerprint"]
         assert entries[0]["cuts"] == entries[1]["cuts"] == served["cuts"]
 
+    def test_served_fingerprint_matches_cli_run_numpy_mode(
+            self, tmp_path, monkeypatch):
+        # `repro serve --kernels numpy` pins the mode in the engine;
+        # the same netlist/config/seed through `repro partition
+        # --kernels numpy` must land on the same fingerprint — the
+        # served answer is the standalone answer, per mode.  A
+        # 300-module circuit so the numpy batch engine actually
+        # engages (>=128-module gate) instead of degenerating to the
+        # scalar path.
+        from repro.hypergraph import hierarchical_circuit
+        from repro.kernels import kernel_mode, set_kernel_mode
+        hg = hierarchical_circuit(300, 360, seed=2024, name="hier300")
+        netlist = tmp_path / "hier300.json"
+        write_json(hg, str(netlist))
+        ledger = tmp_path / "ledger.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER", str(ledger))
+        prior = kernel_mode()
+        try:
+            with _ServerThread(kernels="numpy") as srv, \
+                    srv.client() as client:
+                served = client.partition(_body(hg))
+            assert main(["partition", str(netlist), "--algorithm", "fm",
+                         "--runs", "2", "--seed", "5",
+                         "--kernels", "numpy"]) == 0
+        finally:
+            set_kernel_mode(prior)
+        entries = [json.loads(line)
+                   for line in ledger.read_text().splitlines()]
+        assert len(entries) == 2  # one served, one CLI
+        assert all(e["kernel_mode"] == "numpy" for e in entries)
+        assert entries[0]["fingerprint"] == served["fingerprint"]
+        assert entries[1]["fingerprint"] == served["fingerprint"]
+        assert entries[0]["cuts"] == entries[1]["cuts"] == served["cuts"]
+
     def test_sweep_batches_and_reports_job(self, tiny_hg):
         with _ServerThread() as srv, srv.client() as client:
             job_id = client.sweep(

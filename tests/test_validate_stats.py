@@ -28,8 +28,8 @@ class TestCheckConsistency:
             check_consistency(tiny_hg)
 
     def test_tampered_incidence_detected(self, tiny_hg):
-        tiny_hg._module_nets = list(tiny_hg._module_nets)
-        tiny_hg._module_nets[0] = ()
+        tiny_hg._module_nets_s = list(tiny_hg._module_nets)
+        tiny_hg._module_nets_s[0] = ()
         with pytest.raises(HypergraphError):
             check_consistency(tiny_hg)
 
