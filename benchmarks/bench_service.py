@@ -9,20 +9,27 @@ and measures, over the wire:
   fingerprint-keyed result cache without touching the runtime;
 * **coalescing** — a burst of identical concurrent requests on a fresh
   key: the executed-portfolio counter from ``/metrics`` shows the whole
-  burst collapsed into one execution.
+  burst collapsed into one execution;
+* **overload** — a second daemon with a shallow lane
+  (``--max-queued 2``) under open-loop load arriving faster than it
+  can serve: the shed fraction and the accepted requests' p50/p99.
 
 Asserted contracts (the service's acceptance criteria):
 
 * hit p50 is at least ``MIN_SPEEDUP``× lower than cold p50;
 * an N-wide identical burst executes exactly 1 portfolio;
 * hit payloads are byte-identical to their cold counterparts
-  (minus the ``cached`` annotation itself).
+  (minus the ``cached`` annotation itself);
+* under saturation the daemon sheds (some 429s) instead of queueing
+  without bound, and accepted p99 stays ≤ 2× the request deadline.
 
 The report is printed and written to ``BENCH_service.json`` at the
 repo root.  Run directly (``python benchmarks/bench_service.py``) or
 via pytest.  Knobs: ``REPRO_BENCH_SERVICE_SCALE`` (circuit scale,
 default 0.2), ``REPRO_BENCH_SERVICE_HITS`` (hit repeats per key,
-default 20), ``REPRO_BENCH_SERVICE_BURST`` (burst width, default 8).
+default 20), ``REPRO_BENCH_SERVICE_BURST`` (burst width, default 8),
+``REPRO_BENCH_SERVICE_OVERLOAD_N`` (overload request count, default
+24).
 """
 
 import concurrent.futures
@@ -39,7 +46,7 @@ from pathlib import Path
 _ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_ROOT / "src"))
 
-from repro.service import ServiceClient  # noqa: E402
+from repro.service import ServiceClient, ServiceError  # noqa: E402
 
 SCALE = float(os.environ.get("REPRO_BENCH_SERVICE_SCALE", "0.2"))
 HIT_REPEATS = int(os.environ.get("REPRO_BENCH_SERVICE_HITS", "20"))
@@ -48,6 +55,14 @@ CIRCUITS = ("primary1", "primary2", "bm1")
 RUNS_PER_REQUEST = 2
 MIN_SPEEDUP = 50.0
 OUTPUT = _ROOT / "BENCH_service.json"
+
+# -- overload scenario knobs ------------------------------------------
+OVERLOAD_N = int(os.environ.get("REPRO_BENCH_SERVICE_OVERLOAD_N", "24"))
+OVERLOAD_DEADLINE_MS = 10_000
+OVERLOAD_MAX_QUEUED = 2
+#: Open-loop arrival gap — far faster than the service rate for a
+#: full-scale mlc portfolio, so the lane must shed.
+OVERLOAD_ARRIVAL_S = 0.01
 
 
 def _request_body(circuit: str, seed: int) -> dict:
@@ -62,12 +77,13 @@ def _percentile(samples, fraction: float) -> float:
     return ordered[index]
 
 
-def _start_server():
+def _start_server(*extra_args: str):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(_ROOT / "src")
     env["REPRO_LEDGER"] = "off"
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         *extra_args],
         stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env,
         text=True)
     line = proc.stdout.readline()
@@ -96,7 +112,75 @@ def run_bench() -> dict:
             proc.kill()
             proc.wait()
     report["meta"]["server_exit_code"] = proc.returncode
+
+    # -- overload: its own daemon with a deliberately shallow lane ----
+    proc, port = _start_server(
+        "--max-queued", str(OVERLOAD_MAX_QUEUED),
+        "--deadline-ms", str(OVERLOAD_DEADLINE_MS),
+        "--breaker-failures", "1000")
+    try:
+        report["overload"] = _run_overload(port)
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+    report["overload"]["server_exit_code"] = proc.returncode
     return report
+
+
+def _run_overload(port: int) -> dict:
+    """Open-loop saturation: fire requests faster than the daemon can
+    serve them and measure what it sheds vs. what it serves, and how
+    long the accepted ones take."""
+
+    def one(i: int):
+        # Distinct (threshold, seed) per request defeats the result
+        # cache, coalescing, and batching: every accepted request
+        # costs a real portfolio execution.
+        body = {"netlist": {"generate": {"name": "primary1",
+                                         "scale": 1.0, "seed": 1}},
+                "algorithm": "mlc", "runs": 4, "seed": i,
+                "threshold": 20 + i}
+        with ServiceClient("127.0.0.1", port, timeout=60,
+                           retries=0) as client:
+            start = time.perf_counter()
+            try:
+                payload = client.partition(body)
+                return ("ok", time.perf_counter() - start,
+                        bool(payload.get("degraded")))
+            except ServiceError as exc:
+                return (exc.status, time.perf_counter() - start, False)
+
+    with concurrent.futures.ThreadPoolExecutor(OVERLOAD_N) as pool:
+        futures = []
+        wall_start = time.perf_counter()
+        for i in range(OVERLOAD_N):
+            futures.append(pool.submit(one, i))
+            time.sleep(OVERLOAD_ARRIVAL_S)
+        outcomes = [f.result() for f in futures]
+        wall_s = time.perf_counter() - wall_start
+
+    accepted = [o for o in outcomes if o[0] == "ok"]
+    shed = [o for o in outcomes if o[0] == 429]
+    other = [o for o in outcomes if o[0] not in ("ok", 429)]
+    latencies = [o[1] for o in accepted] or [0.0]
+    return {
+        "requests": OVERLOAD_N,
+        "arrival_gap_s": OVERLOAD_ARRIVAL_S,
+        "max_queued": OVERLOAD_MAX_QUEUED,
+        "deadline_ms": OVERLOAD_DEADLINE_MS,
+        "accepted": len(accepted),
+        "shed_429": len(shed),
+        "other_errors": len(other),
+        "shed_fraction": round(len(shed) / OVERLOAD_N, 3),
+        "degraded_responses": sum(1 for o in accepted if o[2]),
+        "accepted_p50_s": round(_percentile(latencies, 0.50), 6),
+        "accepted_p99_s": round(_percentile(latencies, 0.99), 6),
+        "wall_s": round(wall_s, 6),
+    }
 
 
 def _run_against(client: ServiceClient, port: int) -> dict:
@@ -205,6 +289,13 @@ def print_report(report: dict) -> None:
           f"{c['coalesced_responses']} coalesced + "
           f"{c['cache_hit_responses']} cache-hit responses in "
           f"{c['burst_wall_s']:.3f}s")
+    o = report["overload"]
+    print(f"overload: {o['requests']} requests at 1/{o['arrival_gap_s']}s "
+          f"against max_queued={o['max_queued']} -> "
+          f"{o['accepted']} accepted / {o['shed_429']} shed "
+          f"({100 * o['shed_fraction']:.0f}%), accepted p50 "
+          f"{o['accepted_p50_s']:.3f}s p99 {o['accepted_p99_s']:.3f}s "
+          f"(deadline {o['deadline_ms']}ms)")
 
 
 def test_bench_service():
@@ -223,6 +314,17 @@ def test_bench_service():
         f"{coalescing['executed_portfolios']} portfolios (contract: 1)")
     assert coalescing["distinct_fingerprints"] == 1
     assert report["meta"]["server_exit_code"] == 0
+    overload = report["overload"]
+    assert overload["shed_429"] > 0, (
+        "saturating load produced no 429s — the lane queued without "
+        "bound instead of shedding")
+    assert overload["accepted"] > 0
+    assert overload["other_errors"] == 0, overload
+    assert overload["accepted_p99_s"] <= \
+        2.0 * overload["deadline_ms"] / 1000.0, (
+        f"accepted p99 {overload['accepted_p99_s']:.3f}s exceeds 2x the "
+        f"{overload['deadline_ms']}ms deadline")
+    assert overload["server_exit_code"] == 0
 
 
 if __name__ == "__main__":

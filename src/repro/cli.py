@@ -328,12 +328,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .service import PartitionServer, ServiceEngine
+    faults = None
+    if args.inject_faults:
+        from .faults import FaultPlan
+        faults = FaultPlan.parse(args.inject_faults)
     engine = ServiceEngine(jobs=args.jobs,
                            result_entries=args.cache_size,
                            spool_dir=args.spool_dir,
-                           kernels=args.kernels)
+                           kernels=args.kernels,
+                           default_deadline_ms=args.deadline_ms,
+                           max_queued=args.max_queued,
+                           breaker_failures=args.breaker_failures,
+                           breaker_cooldown=args.breaker_cooldown,
+                           retries=args.retries,
+                           faults=faults)
     server = PartitionServer(engine, host=args.host, port=args.port,
-                             drain_seconds=args.drain_seconds)
+                             drain_seconds=args.drain_seconds,
+                             max_connections=args.max_connections,
+                             read_timeout=args.read_timeout,
+                             job_ttl=args.job_ttl,
+                             max_jobs=args.max_jobs)
     try:
         asyncio.run(server.run())
     except KeyboardInterrupt:
@@ -358,7 +372,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
 
     from .service import ServiceClient, inline_netlist
     host, port = _parse_server(args.server)
-    with ServiceClient(host, port, timeout=args.timeout) as client:
+    with ServiceClient(host, port, timeout=args.timeout,
+                       retries=args.retries) as client:
         if args.action == "health":
             print(_json.dumps(client.healthz(), indent=2))
         elif args.action == "version":
@@ -375,6 +390,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 "ratio": args.ratio, "threshold": args.threshold,
                 "tolerance": args.tolerance,
             }
+            if args.deadline_ms is not None:
+                request["deadline_ms"] = args.deadline_ms
             print(_json.dumps(client.partition(request), indent=2))
     return 0
 
@@ -574,6 +591,48 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: csr; result-cache keys carry the "
                             "mode's cut class, so answers never leak "
                             "across modes that could disagree)")
+    p_srv.add_argument("--deadline-ms", type=int, default=300_000,
+                       metavar="MS",
+                       help="default per-request deadline when the "
+                            "request carries no deadline_ms (default "
+                            "300000; bounds queue wait + execution)")
+    p_srv.add_argument("--max-queued", type=int, default=32, metavar="N",
+                       help="execution-lane high-watermark: beyond this "
+                            "many queued requests, new work is shed "
+                            "with 429 + Retry-After (default 32)")
+    p_srv.add_argument("--max-connections", type=int, default=128,
+                       metavar="N",
+                       help="open-connection cap; excess connections "
+                            "get 503 and are closed (default 128)")
+    p_srv.add_argument("--read-timeout", type=float, default=30.0,
+                       metavar="SEC",
+                       help="slow-client defense: budget for reading a "
+                            "request head/body once started (default 30)")
+    p_srv.add_argument("--job-ttl", type=float, default=3600.0,
+                       metavar="SEC",
+                       help="finished sweep jobs are evicted after this "
+                            "long (default 3600)")
+    p_srv.add_argument("--max-jobs", type=int, default=64, metavar="N",
+                       help="live sweep-job cap; beyond it POST /sweep "
+                            "is shed with 429 (default 64)")
+    p_srv.add_argument("--breaker-failures", type=int, default=3,
+                       metavar="N",
+                       help="consecutive unhealthy executions on one "
+                            "netlist before its circuit breaker opens "
+                            "and requests degrade (default 3)")
+    p_srv.add_argument("--breaker-cooldown", type=float, default=30.0,
+                       metavar="SEC",
+                       help="seconds an open breaker serves degraded "
+                            "answers before probing recovery "
+                            "(default 30)")
+    p_srv.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="per-start retry budget for served "
+                            "portfolios (failed/invalid starts only, "
+                            "as in 'repro partition')")
+    p_srv.add_argument("--inject-faults", default=None, metavar="SPEC",
+                       help="arm a deterministic FaultPlan on every "
+                            "served portfolio (chaos testing; same "
+                            "SPEC as 'repro partition --inject-faults')")
     p_srv.set_defaults(fn=_cmd_serve)
 
     p_cli = sub.add_parser(
@@ -590,6 +649,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"daemon address (default "
                             f"127.0.0.1:{_DEFAULT_PORT})")
     p_cli.add_argument("--timeout", type=float, default=300.0)
+    p_cli.add_argument("--retries", type=int, default=2,
+                       help="client-side retry budget for connection "
+                            "failures and 429 load sheds (default 2)")
+    p_cli.add_argument("--deadline-ms", type=int, default=None,
+                       metavar="MS",
+                       help="per-request deadline forwarded to the "
+                            "daemon (default: the server's)")
     p_cli.add_argument("--algorithm", choices=ALGORITHMS, default="mlc")
     p_cli.add_argument("-k", type=int, default=2)
     p_cli.add_argument("--runs", type=int, default=1)

@@ -31,7 +31,7 @@ from .cache import HierarchyCache, default_hierarchy_cache
 from .checkpoint import MatrixCheckpoint
 from .executor import (DEFAULT_COLLECT_TIMEOUT, ProcessExecutor,
                        SerialExecutor, execute, get_executor)
-from .job import BatchPortfolio, Job, Portfolio
+from .job import BatchPortfolio, Job, Portfolio, backoff_delay
 from .mlstart import (MLStartAlgorithm, ml_portfolio, ml_reuse_algorithm)
 from .records import (FINGERPRINT_DIGEST_LENGTH, FailureReport,
                       PortfolioResult, RunRecord, RETRYABLE_STATUSES,
@@ -42,6 +42,7 @@ __all__ = [
     "Job",
     "Portfolio",
     "BatchPortfolio",
+    "backoff_delay",
     "fingerprint_digest",
     "FINGERPRINT_DIGEST_LENGTH",
     "RunRecord",

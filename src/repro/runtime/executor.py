@@ -220,6 +220,28 @@ def _flag_overrun(record: RunRecord, budget: Optional[float]) -> bool:
     return False
 
 
+def _deadline_record(portfolio: Portfolio, index: int, seed: int,
+                     attempt: int, worker: str) -> RunRecord:
+    """Record for a start sacrificed to the portfolio deadline.
+
+    Shared by both executors so a deadline-killed start looks identical
+    whether it never launched (serial) or its worker was terminated
+    mid-flight (pool): a ``timeout`` record whose error names the
+    portfolio deadline.
+    """
+    tr = tracer()
+    if tr.enabled:
+        tr.instant("portfolio.deadline", {
+            "index": index, "attempt": attempt,
+            "deadline_s": portfolio.deadline_seconds})
+    return RunRecord(
+        index=index, seed=seed, status=STATUS_OK, worker=worker,
+        attempts=attempt,
+    ).mark_timeout(
+        f"portfolio deadline of {portfolio.deadline_seconds:g}s "
+        "exhausted before this start completed")
+
+
 class SerialExecutor:
     """Runs starts in order, in-process — the harness's historical
     behaviour plus fault isolation and budget flagging."""
@@ -229,13 +251,20 @@ class SerialExecutor:
     def run(self, portfolio: Portfolio, completed: Completed = None,
             on_record: OnRecord = None) -> PortfolioResult:
         wall0 = time.perf_counter()
+        deadline_at = (wall0 + portfolio.deadline_seconds
+                       if portfolio.deadline_seconds is not None else None)
         completed = dict(completed or {})
         records: List[RunRecord] = []
         for job in portfolio.jobs():
             if job.index in completed:
                 records.append(completed[job.index])
                 continue
-            record = self._run_with_retries(portfolio, job)
+            if deadline_at is not None and \
+                    time.perf_counter() >= deadline_at:
+                record = _deadline_record(portfolio, job.index, job.seed,
+                                          1, worker="serial")
+            else:
+                record = self._run_with_retries(portfolio, job, deadline_at)
             if on_record is not None:
                 on_record(record)
             records.append(record)
@@ -244,14 +273,16 @@ class SerialExecutor:
             records=records, wall_seconds=time.perf_counter() - wall0,
             jobs=1)
 
-    def _run_with_retries(self, portfolio: Portfolio,
-                          job: Job) -> RunRecord:
+    def _run_with_retries(self, portfolio: Portfolio, job: Job,
+                          deadline_at: Optional[float] = None) -> RunRecord:
         attempt = 1
         while True:
             record = _execute_start(portfolio, job.index, job.seed,
                                     attempt, worker="serial")
             _flag_overrun(record, portfolio.budget_seconds)
-            if not record.retryable or attempt > portfolio.retries:
+            if not record.retryable or attempt > portfolio.retries \
+                    or (deadline_at is not None
+                        and time.perf_counter() >= deadline_at):
                 return record
             _log.info("retrying start %d (seed %d): %s on attempt %d — %s",
                       job.index, job.seed, record.status, attempt,
@@ -317,6 +348,8 @@ class ProcessExecutor:
             on_record: OnRecord = None) -> PortfolioResult:
         global _ACTIVE, _NOTICES
         wall0 = time.perf_counter()
+        deadline_at = (wall0 + portfolio.deadline_seconds
+                       if portfolio.deadline_seconds is not None else None)
         records: Dict[int, RunRecord] = dict(completed or {})
         pending = [(job.index, job.seed, 1) for job in portfolio.jobs()
                    if job.index not in records]
@@ -336,11 +369,15 @@ class ProcessExecutor:
                         for task, handle in inflight:
                             index, seed, attempt = task
                             record = self._collect(portfolio, handle, index,
-                                                   seed, attempt, started)
+                                                   seed, attempt, started,
+                                                   deadline_at)
                             self._absorb(record)
                             timed_out |= record.status == STATUS_TIMEOUT
                             if (record.retryable
-                                    and attempt <= portfolio.retries):
+                                    and attempt <= portfolio.retries
+                                    and (deadline_at is None
+                                         or time.perf_counter()
+                                         < deadline_at)):
                                 _log.info("retrying start %d (seed %d): %s "
                                           "on attempt %d — %s",
                                           index, seed, record.status,
@@ -397,15 +434,20 @@ class ProcessExecutor:
 
     @classmethod
     def _collect(cls, portfolio: Portfolio, handle, index: int, seed: int,
-                 attempt: int,
-                 started: Dict[Tuple[int, int], int]) -> RunRecord:
+                 attempt: int, started: Dict[Tuple[int, int], int],
+                 deadline_at: Optional[float] = None) -> RunRecord:
         """Wait for one outstanding start, with a finite deadline.
 
-        The deadline — ``budget_seconds`` or, when the portfolio has
-        none, :data:`DEFAULT_COLLECT_TIMEOUT` — is measured from the
-        start of *this collection*, not from task dispatch.  While
-        waiting, the collector polls the start-notice channel: a task
-        whose announced worker pid has vanished is recorded ``failed``
+        The per-start deadline — ``budget_seconds`` or, when the
+        portfolio has none, :data:`DEFAULT_COLLECT_TIMEOUT` — is
+        measured from the start of *this collection*, not from task
+        dispatch.  ``deadline_at`` (an absolute ``perf_counter`` time)
+        additionally bounds the whole portfolio: once it passes, every
+        uncollected start is recorded as a deadline timeout without
+        further waiting, and the caller terminates the pool — killing
+        in-flight workers — on the timeout flag.  While waiting, the
+        collector polls the start-notice channel: a task whose
+        announced worker pid has vanished is recorded ``failed``
         (worker died — retryable) immediately, instead of masquerading
         as a timeout after the full deadline.
         """
@@ -414,7 +456,17 @@ class ProcessExecutor:
         waited = 0.0
         while True:
             cls._drain_notices(started)
+            if deadline_at is not None and \
+                    time.perf_counter() >= deadline_at:
+                _log.warning("portfolio deadline exhausted; recording "
+                             "start %d (seed %d, attempt %d) as timeout",
+                             index, seed, attempt)
+                return _deadline_record(portfolio, index, seed, attempt,
+                                        worker="pool")
             step = min(_POLL_INTERVAL, max(deadline - waited, 0.001))
+            if deadline_at is not None:
+                step = min(step,
+                           max(deadline_at - time.perf_counter(), 0.001))
             try:
                 record = handle.get(timeout=step)
             except multiprocessing.TimeoutError:

@@ -23,7 +23,25 @@ from ..errors import ConfigError
 from ..hypergraph import Hypergraph
 from ..rng import SeedLike, child_seeds, stable_seed
 
-__all__ = ["Job", "Portfolio", "BatchPortfolio"]
+__all__ = ["Job", "Portfolio", "BatchPortfolio", "backoff_delay"]
+
+
+def backoff_delay(base: float, cap: float, seed: SeedLike, index: int,
+                  attempt: int) -> float:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``min(cap, base * 2^(attempt-2)) * U`` where ``U`` in ``[0.5, 1.0)``
+    is drawn from an RNG keyed on ``(seed, index, attempt)`` — the same
+    derivation style as the child seeds, so every consumer (portfolio
+    retries, the service client's reconnect loop) sleeps a schedule
+    that is a pure function of its seed.  ``attempt`` 1 (the first
+    execution) and a zero base never sleep.
+    """
+    if attempt <= 1 or base <= 0.0:
+        return 0.0
+    bounded = min(cap, base * 2.0 ** (attempt - 2))
+    rng = random.Random(stable_seed("backoff", str(seed), index, attempt))
+    return bounded * (0.5 + 0.5 * rng.random())
 
 
 @dataclass(frozen=True)
@@ -72,6 +90,16 @@ class Portfolio:
     runs: int
     seed: SeedLike = 0
     budget_seconds: Optional[float] = None
+    #: Wall-clock deadline for the *whole portfolio*, measured from the
+    #: moment an executor starts running it.  Once exhausted, starts
+    #: that have not begun are recorded ``timeout`` without running,
+    #: in-flight pool workers are killed at shutdown, and the partial
+    #: result (every start that did finish) is returned — the
+    #: time-budgeted "best answer you have" contract the service's
+    #: per-request deadlines ride on.  The serial executor cannot
+    #: pre-empt a running start, so serially the deadline only gates
+    #: *starting* work.
+    deadline_seconds: Optional[float] = None
     retries: int = 0
     keep_results: bool = False
     faults: Optional[object] = None
@@ -88,6 +116,9 @@ class Portfolio:
         if self.budget_seconds is not None and self.budget_seconds <= 0:
             raise ConfigError(
                 f"budget_seconds must be > 0, got {self.budget_seconds}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds}")
         if not callable(getattr(self.algorithm, "fn", None)):
             raise ConfigError(
                 "algorithm must expose a callable .fn(hg, seed)")
@@ -136,13 +167,8 @@ class Portfolio:
         same schedule.  ``attempt`` 1 (the first execution) and a zero
         base never sleep.
         """
-        if attempt <= 1 or self.backoff_seconds <= 0.0:
-            return 0.0
-        base = min(self.backoff_cap,
-                   self.backoff_seconds * 2.0 ** (attempt - 2))
-        rng = random.Random(stable_seed("backoff", str(self.seed), index,
-                                        attempt))
-        return base * (0.5 + 0.5 * rng.random())
+        return backoff_delay(self.backoff_seconds, self.backoff_cap,
+                             self.seed, index, attempt)
 
 
 @dataclass

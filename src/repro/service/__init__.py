@@ -22,26 +22,38 @@ Layers
 * :mod:`.protocol`  — request schema, validation, identity digests.
 * :mod:`.cache`     — LRU result/netlist caches.
 * :mod:`.coalescer` — one in-flight execution per request key.
-* :mod:`.engine`    — execution lane, batching, payload construction.
+* :mod:`.engine`    — execution lane, batching, deadlines, payload
+  construction.
+* :mod:`.breaker`   — per-netlist circuit breaker (degraded mode).
 * :mod:`.jobs`      — async job handles for ``POST /sweep``.
-* :mod:`.server`    — the asyncio HTTP/1.1 daemon.
+* :mod:`.server`    — the asyncio HTTP/1.1 daemon (admission control,
+  slow-client defenses).
 * :mod:`.client`    — blocking stdlib client (``repro client``, bench,
-  CI smoke).
+  CI smoke) with jittered 429-aware retries.
+
+Overload behavior — deadlines, load shedding, the circuit breaker,
+and the degradation ladder — is documented in ``DESIGN.md`` §14.
 """
 
+from .breaker import CircuitBreaker
 from .cache import LRUCache, NetlistCache, ResultCache
 from .client import ServiceClient, ServiceError
 from .coalescer import Coalescer
-from .engine import PendingRun, ServiceEngine
+from .engine import (DEADLINE_GRACE_SECONDS, ExecutionLane, PendingRun,
+                     ServiceEngine)
 from .jobs import JobTable, ServiceJob
-from .protocol import (NetlistSpec, PartitionRequest, ProtocolError,
-                       SCHEMA_VERSION, canonical_json, inline_netlist,
-                       netlist_digest)
+from .protocol import (MAX_DEADLINE_MS, NetlistSpec, PartitionRequest,
+                       ProtocolError, SCHEMA_VERSION, canonical_json,
+                       inline_netlist, netlist_digest)
 from .server import DEFAULT_PORT, PartitionServer
 
 __all__ = [
     "SCHEMA_VERSION",
     "DEFAULT_PORT",
+    "MAX_DEADLINE_MS",
+    "DEADLINE_GRACE_SECONDS",
+    "CircuitBreaker",
+    "ExecutionLane",
     "PartitionServer",
     "ServiceEngine",
     "ServiceClient",

@@ -1,0 +1,144 @@
+"""Per-netlist circuit breaker for the serving path.
+
+A netlist whose portfolios keep dying — hung workers, repeated
+crashes, deadline blowouts — must not be allowed to stall the single
+execution lane for every other client.  The breaker tracks execution
+health *per netlist key* and, once ``failure_threshold`` consecutive
+executions have gone unhealthy, trips **open**: subsequent requests
+for that netlist are served in *degraded mode* (a single cheap start
+instead of the full portfolio, flagged ``degraded: true``) so clients
+still get an answer while the lane stays clear.  After
+``cooldown_seconds`` the breaker goes **half-open** and lets exactly
+one full-configuration *probe* through; a healthy probe closes the
+breaker, an unhealthy one re-opens it for another cooldown.
+
+The breaker is consulted and updated only from the execution lane's
+single consumer, so its transitions are naturally serialized; the lock
+exists for the event loop reading :meth:`stats` concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ..errors import ConfigError
+
+__all__ = ["CircuitBreaker", "PLAN_FULL", "PLAN_DEGRADED", "PLAN_PROBE",
+           "STATE_CLOSED", "STATE_OPEN", "STATE_HALF_OPEN"]
+
+#: Execution plans :meth:`CircuitBreaker.plan` hands the engine.
+PLAN_FULL = "full"
+PLAN_DEGRADED = "degraded"
+PLAN_PROBE = "probe"
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+@dataclass
+class _KeyState:
+    state: str = STATE_CLOSED
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    trips: int = 0
+    last_error: str = ""
+
+
+@dataclass
+class CircuitBreaker:
+    """Consecutive-failure breaker keyed by netlist identity."""
+
+    failure_threshold: int = 3
+    cooldown_seconds: float = 30.0
+    #: Injectable monotonic clock (tests shrink time with it).
+    clock: Callable[[], float] = time.monotonic
+
+    def __post_init__(self):
+        if self.failure_threshold < 1:
+            raise ConfigError(f"failure_threshold must be >= 1, "
+                              f"got {self.failure_threshold}")
+        if self.cooldown_seconds <= 0:
+            raise ConfigError(f"cooldown_seconds must be > 0, "
+                              f"got {self.cooldown_seconds}")
+        self._states: Dict[str, _KeyState] = {}
+        self._lock = threading.Lock()
+        self.trips = 0
+        self.probes = 0
+        self.recoveries = 0
+        self.degraded_planned = 0
+
+    # -- lane-side API -------------------------------------------------
+
+    def plan(self, key: str) -> str:
+        """Execution plan for the next request on ``key``:
+        ``full`` (healthy), ``degraded`` (breaker open), or ``probe``
+        (cooldown elapsed — run the full configuration once and let
+        :meth:`record` decide)."""
+        with self._lock:
+            state = self._states.get(key)
+            if state is None or state.state == STATE_CLOSED:
+                return PLAN_FULL
+            if state.state == STATE_OPEN:
+                if self.clock() - state.opened_at < self.cooldown_seconds:
+                    self.degraded_planned += 1
+                    return PLAN_DEGRADED
+                state.state = STATE_HALF_OPEN
+            # half-open: the lane is a single consumer, so at most one
+            # execution is in flight — every half-open plan is a probe.
+            self.probes += 1
+            return PLAN_PROBE
+
+    def record(self, key: str, healthy: bool, error: str = "") -> None:
+        """Account one full-configuration execution's outcome.
+
+        Degraded-mode executions are *not* recorded — the breaker only
+        re-closes on a successful probe, never on the cheap fallback
+        looking fine.
+        """
+        with self._lock:
+            state = self._states.setdefault(key, _KeyState())
+            if state.state == STATE_HALF_OPEN:
+                if healthy:
+                    self._states.pop(key, None)
+                    self.recoveries += 1
+                else:
+                    state.state = STATE_OPEN
+                    state.opened_at = self.clock()
+                    state.trips += 1
+                    state.last_error = error
+                return
+            if healthy:
+                state.consecutive_failures = 0
+                if state.state == STATE_CLOSED and state.trips == 0:
+                    self._states.pop(key, None)
+                return
+            state.consecutive_failures += 1
+            state.last_error = error
+            if state.state == STATE_CLOSED and \
+                    state.consecutive_failures >= self.failure_threshold:
+                state.state = STATE_OPEN
+                state.opened_at = self.clock()
+                state.trips += 1
+                self.trips += 1
+
+    # -- observability -------------------------------------------------
+
+    def state(self, key: str) -> str:
+        with self._lock:
+            state = self._states.get(key)
+            return STATE_CLOSED if state is None else state.state
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            open_keys = sum(1 for s in self._states.values()
+                            if s.state != STATE_CLOSED)
+            return {"tracked_keys": len(self._states),
+                    "open_keys": open_keys,
+                    "trips": self.trips,
+                    "probes": self.probes,
+                    "recoveries": self.recoveries,
+                    "degraded_planned": self.degraded_planned}

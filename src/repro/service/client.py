@@ -3,39 +3,62 @@
 Backs ``repro client`` (smoke use against a running daemon), the
 service benchmark, and the CI smoke step.  Pure stdlib
 (:mod:`http.client`), one keep-alive connection per
-:class:`ServiceClient` instance with a single transparent reconnect —
-enough for scripts and load generators without pulling in an HTTP
-dependency.
+:class:`ServiceClient` instance — enough for scripts and load
+generators without pulling in an HTTP dependency.
+
+Retry policy: connection failures and 429 load-shed responses are
+retried up to ``retries`` times with the runtime's seed-jittered
+exponential backoff (:func:`repro.runtime.backoff_delay` — the same
+derivation portfolio start retries use, so a fixed ``retry_seed``
+replays the identical wait sequence).  A 429's ``Retry-After`` header
+takes precedence over the computed delay; any other HTTP error is
+surfaced immediately as :class:`ServiceError`.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
 from typing import Dict, List, Optional
 
 from ..errors import ReproError
+from ..runtime import backoff_delay
 
 __all__ = ["ServiceClient", "ServiceError"]
 
 
 class ServiceError(ReproError):
-    """A non-2xx response; ``status`` is the HTTP code."""
+    """A non-2xx response; ``status`` is the HTTP code and
+    ``retry_after`` the parsed ``Retry-After`` header (seconds), when
+    the server sent one."""
 
-    def __init__(self, message: str, status: int = 0):
+    def __init__(self, message: str, status: int = 0,
+                 retry_after: Optional[float] = None):
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
 
 
 class ServiceClient:
     """Blocking JSON client bound to one ``host:port``."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8349,
-                 timeout: float = 300.0):
+                 timeout: float = 300.0, retries: int = 2,
+                 backoff_seconds: float = 0.25, backoff_cap: float = 5.0,
+                 retry_seed: int = 0):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_seconds = backoff_seconds
+        self.backoff_cap = backoff_cap
+        self.retry_seed = retry_seed
         self._conn: Optional[http.client.HTTPConnection] = None
+        #: Monotonic per-request counter: the backoff jitter index, so
+        #: two requests retrying concurrently don't share a wait
+        #: sequence (and a replayed client reproduces its own).
+        self._request_index = 0
 
     # -- plumbing ------------------------------------------------------
 
@@ -56,6 +79,26 @@ class ServiceClient:
                 self.host, self.port, timeout=self.timeout)
         return self._conn
 
+    def _sleep_before(self, attempt: int, index: int,
+                      retry_after: Optional[float]) -> None:
+        delay = backoff_delay(self.backoff_seconds, self.backoff_cap,
+                              self.retry_seed, index, attempt)
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        if delay > 0:
+            time.sleep(delay)
+
+    @staticmethod
+    def _retry_after(response: http.client.HTTPResponse
+                     ) -> Optional[float]:
+        value = response.getheader("Retry-After")
+        if value is None:
+            return None
+        try:
+            return max(0.0, float(value))
+        except ValueError:
+            return None
+
     def _request(self, method: str, path: str,
                  body: Optional[dict] = None) -> http.client.HTTPResponse:
         payload = None
@@ -63,17 +106,30 @@ class ServiceClient:
         if body is not None:
             payload = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        for attempt in (1, 2):
+        self._request_index += 1
+        index = self._request_index
+        attempts = max(1, self.retries + 1)
+        for attempt in range(1, attempts + 1):
             conn = self._connection()
             try:
                 conn.request(method, path, body=payload, headers=headers)
-                return conn.getresponse()
+                response = conn.getresponse()
             except (http.client.HTTPException, ConnectionError, OSError):
                 # Stale keep-alive socket (server restarted, idle
-                # timeout): reconnect once, then give up.
+                # timeout) or refused connection: back off and retry.
                 self.close()
-                if attempt == 2:
+                if attempt >= attempts:
                     raise
+                self._sleep_before(attempt + 1, index, None)
+                continue
+            if response.status == 429 and attempt < attempts:
+                # Load shed: drain the body so the keep-alive socket
+                # stays usable, then honor the server's Retry-After.
+                retry_after = self._retry_after(response)
+                response.read()
+                self._sleep_before(attempt + 1, index, retry_after)
+                continue
+            return response
         raise AssertionError("unreachable")
 
     def _json(self, method: str, path: str,
@@ -86,7 +142,8 @@ class ServiceClient:
             except (ValueError, AttributeError):
                 message = raw.decode("utf-8", "replace")
             raise ServiceError(f"{path}: {message}",
-                               status=response.status)
+                               status=response.status,
+                               retry_after=self._retry_after(response))
         return json.loads(raw)
 
     # -- endpoints -----------------------------------------------------

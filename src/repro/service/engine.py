@@ -52,9 +52,10 @@ from ..obs import get_logger, record_result
 from ..partition import BalanceConstraint
 from ..rng import child_seeds
 from ..runtime import (BatchPortfolio, Job, Portfolio, PortfolioResult,
-                       HierarchyCache, execute, get_executor,
-                       ml_reuse_algorithm)
+                       HierarchyCache, STATUS_TIMEOUT, execute,
+                       get_executor, ml_reuse_algorithm)
 from ..solvers import build_algorithm, ml_config_for
+from .breaker import CircuitBreaker, PLAN_DEGRADED
 from .cache import NetlistCache, ResultCache
 from .coalescer import Coalescer
 from .protocol import (PartitionRequest, ProtocolError, SCHEMA_VERSION,
@@ -62,13 +63,27 @@ from .protocol import (PartitionRequest, ProtocolError, SCHEMA_VERSION,
 
 _log = get_logger("service.engine")
 
-__all__ = ["ServiceEngine", "PendingRun"]
+__all__ = ["ServiceEngine", "PendingRun", "ExecutionLane",
+           "DEADLINE_GRACE_SECONDS"]
 
 #: Counter names the engine tracks (and exports as
 #: ``repro_service_<name>_total``).
 _COUNTERS = ("requests", "cache_hits", "cache_misses", "coalesced",
              "executed_portfolios", "executed_starts", "batched_requests",
-             "errors")
+             "errors", "deadline_expired", "degraded_served")
+
+#: The documented grace window on top of a request's deadline: the
+#: event loop abandons waiting on a response ``deadline + grace`` after
+#: admission and answers 504, regardless of what the execution lane is
+#: doing.  The window absorbs the collector's poll granularity, pool
+#: teardown after a deadline kill, and payload/ledger bookkeeping —
+#: no request ever observes a response later than this.
+DEADLINE_GRACE_SECONDS = 0.75
+
+#: Floor handed to the runtime as a portfolio deadline, so a request
+#: admitted with microseconds to spare still gets a well-formed
+#: (instantly-expiring) portfolio instead of a ConfigError.
+_MIN_PORTFOLIO_DEADLINE = 0.05
 
 
 @dataclass
@@ -84,18 +99,50 @@ class PendingRun:
     batch_key: Optional[str] = None
     trace_path: Optional[str] = None
     queued_at: float = field(default_factory=time.monotonic)
+    #: Absolute monotonic instant past which this request's answer is
+    #: worthless; ``None`` means no deadline.
+    deadline_at: Optional[float] = None
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline_at is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline_at
 
 
 class ExecutionLane:
-    """Single-consumer execution queue with same-group batching."""
+    """Single-consumer execution queue with same-group batching,
+    bounded admission, and queue-expiry sweeping.
 
-    def __init__(self, runner: Callable[[List[PendingRun]], List[dict]]):
+    ``max_queued`` is the load-shedding watermark: a submit that finds
+    the queue full is refused with HTTP 429 and a ``Retry-After`` hint
+    derived from an EWMA of recent batch execution times, instead of
+    building an unbounded backlog whose tail can never meet any
+    deadline.  Queued runs whose deadline lapses before the consumer
+    reaches them are failed with 504 without ever touching the runtime.
+
+    The runner returns one entry per batch member, each either a
+    payload dict or an :class:`Exception` — so one member's failure
+    (e.g. every start timed out for *its* deadline) never poisons its
+    batch mates.
+    """
+
+    def __init__(self, runner: Callable[[List[PendingRun]], List[object]],
+                 max_queued: Optional[int] = None):
+        if max_queued is not None and max_queued < 1:
+            raise ProtocolError(
+                f"max_queued must be >= 1, got {max_queued}", status=500)
         self._runner = runner
+        self.max_queued = max_queued
         self._pending: List[PendingRun] = []
         self._wake = asyncio.Event()
         self._task: Optional[asyncio.Task] = None
         self._busy = False
         self.draining = False
+        #: Load-shedding / expiry counters, read by the engine's stats.
+        self.shed = 0
+        self.expired = 0
+        #: EWMA of batch execution wall time, seeding ``Retry-After``.
+        self.exec_ewma: Optional[float] = None
 
     def start(self) -> None:
         self._task = asyncio.get_running_loop().create_task(
@@ -109,9 +156,34 @@ class ExecutionLane:
     def busy(self) -> bool:
         return self._busy
 
+    def retry_after(self) -> float:
+        """Seconds a shed client should wait: roughly one queue's worth
+        of work at the recent per-batch execution rate."""
+        per_batch = self.exec_ewma if self.exec_ewma is not None else 1.0
+        backlog = len(self._pending) + (1 if self._busy else 0)
+        return max(1.0, round(per_batch * max(1, backlog), 1))
+
+    def _sweep_expired(self) -> None:
+        now = time.monotonic()
+        lapsed = [r for r in self._pending if r.expired(now)]
+        for run in lapsed:
+            self._pending.remove(run)
+            self.expired += 1
+            if not run.future.done():
+                run.future.set_exception(ProtocolError(
+                    "deadline expired while queued", status=504))
+
     async def submit(self, run: PendingRun) -> dict:
         if self.draining:
             raise ProtocolError("server is shutting down", status=503)
+        self._sweep_expired()
+        if self.max_queued is not None and \
+                len(self._pending) >= self.max_queued:
+            self.shed += 1
+            raise ProtocolError(
+                f"execution queue is full ({len(self._pending)} queued, "
+                f"limit {self.max_queued}); retry later",
+                status=429, retry_after=self.retry_after())
         self._pending.append(run)
         self._wake.set()
         return await run.future
@@ -121,6 +193,9 @@ class ExecutionLane:
             await self._wake.wait()
             self._wake.clear()
             while self._pending:
+                self._sweep_expired()
+                if not self._pending:
+                    break
                 head = self._pending.pop(0)
                 batch = [head]
                 if head.batch_key is not None:
@@ -133,10 +208,15 @@ class ExecutionLane:
                 if not batch:
                     continue
                 self._busy = True
+                begun = time.monotonic()
                 try:
                     payloads = await asyncio.to_thread(self._runner, batch)
                     for run, payload in zip(batch, payloads):
-                        if not run.future.done():
+                        if run.future.done():
+                            continue
+                        if isinstance(payload, Exception):
+                            run.future.set_exception(payload)
+                        else:
                             run.future.set_result(payload)
                 except Exception as exc:
                     for run in batch:
@@ -144,6 +224,10 @@ class ExecutionLane:
                             run.future.set_exception(exc)
                 finally:
                     self._busy = False
+                    elapsed = time.monotonic() - begun
+                    self.exec_ewma = (
+                        elapsed if self.exec_ewma is None
+                        else 0.3 * elapsed + 0.7 * self.exec_ewma)
 
     async def drain(self, timeout: float = 30.0) -> bool:
         """Refuse new work, fail queued runs, wait out the in-flight
@@ -174,7 +258,13 @@ class ServiceEngine:
     def __init__(self, jobs: int = 1, result_entries: int = 256,
                  netlist_entries: int = 32, hierarchy_entries: int = 8,
                  spool_dir: Optional[str] = None,
-                 kernels: Optional[str] = None):
+                 kernels: Optional[str] = None,
+                 default_deadline_ms: Optional[int] = 300_000,
+                 max_queued: Optional[int] = 32,
+                 breaker_failures: int = 3,
+                 breaker_cooldown: float = 30.0,
+                 retries: int = 0,
+                 faults=None):
         self.jobs = jobs
         # Kernel mode is process-global and fork-inherited, so it must
         # be pinned before the first executor pool spawns workers; the
@@ -183,11 +273,23 @@ class ServiceEngine:
         if kernels is not None:
             from ..kernels import set_kernel_mode
             set_kernel_mode(kernels)
+        if default_deadline_ms is not None and default_deadline_ms < 1:
+            raise ProtocolError(
+                f"default_deadline_ms must be >= 1, "
+                f"got {default_deadline_ms}", status=500)
+        self.default_deadline_ms = default_deadline_ms
+        self.retries = retries
+        #: An armed :class:`~repro.faults.FaultPlan` applied to every
+        #: executed portfolio — the service-level chaos hook.
+        self.faults = faults
         self.results = ResultCache(result_entries)
         self.netlists = NetlistCache(netlist_entries)
         self.hierarchies = HierarchyCache(hierarchy_entries)
         self.coalescer = Coalescer()
-        self.lane = ExecutionLane(self._run_batch_sync)
+        self.lane = ExecutionLane(self._run_batch_sync,
+                                  max_queued=max_queued)
+        self.breaker = CircuitBreaker(failure_threshold=breaker_failures,
+                                      cooldown_seconds=breaker_cooldown)
         self.started_at = time.time()
         self._spool_dir = spool_dir
         self._traces: Dict[str, str] = {}
@@ -208,79 +310,196 @@ class ServiceEngine:
 
     async def serve(self, request: PartitionRequest) -> dict:
         """Serve one partition request through cache → coalescer →
-        lane.  Returns a fresh payload dict the caller may annotate."""
+        lane.  Returns a fresh payload dict the caller may annotate.
+
+        The request's deadline (``deadline_ms`` or the server default)
+        is fixed here, at admission: it bounds queue wait + execution,
+        and :meth:`_with_deadline` guarantees the caller gets *some*
+        answer — a result, a degraded partial, or a 504 — within
+        ``deadline + DEADLINE_GRACE_SECONDS``.
+        """
         self._count("requests")
+        deadline_ms = (request.deadline_ms if request.deadline_ms is not None
+                       else self.default_deadline_ms)
+        deadline_at = (None if deadline_ms is None
+                       else time.monotonic() + deadline_ms / 1000.0)
         key = request.request_key()
         if request.trace:
             # Traced requests always execute (the trace file is the
             # point) and never join a batch or populate the cache.
-            out = dict(await self._submit(request, key, traced=True))
+            out = dict(await self._with_deadline(
+                self._submit(request, key, deadline_at, traced=True),
+                deadline_at))
         else:
             cached = self.results.get(key)
             if cached is not None:
                 self._count("cache_hits")
                 out = dict(cached)
                 out["cached"] = True
-                return self._trim(out, request)
+                return self._finish(out, request, deadline_ms)
             self._count("cache_misses")
-            piggyback = self.coalescer.inflight(key)
-            if piggyback:
-                self._count("coalesced")
 
             async def factory() -> dict:
-                payload = await self._submit(request, key)
-                self.results.put(key, payload)
+                payload = await self._submit(request, key, deadline_at)
+                if not payload.get("degraded"):
+                    # Degraded payloads (deadline partials, breaker
+                    # fallbacks) are point-in-time answers — caching
+                    # them would serve a worse cut than the full
+                    # portfolio to every later client, and is also why
+                    # ``deadline_ms`` can stay out of the request key.
+                    self.results.put(key, payload)
                 return payload
 
-            out = dict(await self.coalescer.run(key, factory))
-            out["cached"] = False
-            out["coalesced"] = piggyback
-        return self._trim(out, request)
+            async def coalesced() -> dict:
+                # The inflight check must share a task body with
+                # ``run`` (ensure_future defers both to the same loop
+                # tick), or followers would race the leader's
+                # registration and miscount.
+                piggyback = self.coalescer.inflight(key)
+                if piggyback:
+                    self._count("coalesced")
+                payload = dict(await self.coalescer.run(key, factory))
+                payload["coalesced"] = piggyback
+                return payload
 
-    @staticmethod
-    def _trim(out: dict, request: PartitionRequest) -> dict:
+            out = dict(await self._with_deadline(coalesced(), deadline_at))
+            out["cached"] = False
+        return self._finish(out, request, deadline_ms)
+
+    async def _with_deadline(self, awaitable, deadline_at) -> dict:
+        """Await ``awaitable``, but never past ``deadline_at`` plus the
+        grace window.  The underlying work is shielded — a coalesced
+        leader keeps running for its followers and still populates the
+        cache — only *this* waiter gives up and answers 504."""
+        task = asyncio.ensure_future(awaitable)
+        if deadline_at is None:
+            return await task
+        remaining = deadline_at - time.monotonic() + DEADLINE_GRACE_SECONDS
+        try:
+            return await asyncio.wait_for(asyncio.shield(task),
+                                          max(remaining, 0.001))
+        except asyncio.TimeoutError:
+            self._count("deadline_expired")
+            # Retrieve the orphaned task's eventual exception so it
+            # never surfaces as an "exception was never retrieved" log.
+            task.add_done_callback(
+                lambda t: t.exception() if not t.cancelled() else None)
+            raise ProtocolError(
+                "deadline exhausted before a response was ready",
+                status=504) from None
+
+    def _finish(self, out: dict, request: PartitionRequest,
+                deadline_ms: Optional[int]) -> dict:
         # Payloads carry the best assignment internally (so a cache
         # entry can satisfy either answer shape); ``include_assignment``
         # is honored per request, not per cache entry — it is
-        # deliberately absent from the request key.
+        # deliberately absent from the request key, as is the deadline:
+        # any *complete* (non-degraded) result is deadline-independent.
         if not request.include_assignment:
             out.pop("assignment", None)
+        if deadline_ms is not None:
+            out["deadline_ms"] = deadline_ms
         return out
 
     async def _submit(self, request: PartitionRequest, key: str,
+                      deadline_at: Optional[float] = None,
                       traced: bool = False) -> dict:
         run_id = f"r{next(self._ids):06d}-{secrets.token_hex(3)}"
         run = PendingRun(
             id=run_id, request=request, key=key,
             future=asyncio.get_running_loop().create_future(),
             batch_key=None if traced else request.batch_key(),
-            trace_path=self._trace_path(run_id) if traced else None)
+            trace_path=self._trace_path(run_id) if traced else None,
+            deadline_at=deadline_at)
         return await self.lane.submit(run)
 
     # -- execution (lane worker thread) --------------------------------
 
-    def _run_batch_sync(self, batch: List[PendingRun]) -> List[dict]:
+    def _run_batch_sync(self, batch: List[PendingRun]) -> List[object]:
         """Execute a batch of same-(netlist, config) requests.
 
         Runs on the lane's worker thread — the only place the engine
-        touches the portfolio runtime.
+        touches the portfolio runtime.  Returns one payload *or
+        exception* per batch member; a whole-batch failure is fanned
+        out as one exception per member.  Consults the per-netlist
+        circuit breaker first and records the execution's health after,
+        so a netlist that keeps crashing or timing out stops occupying
+        the lane with full portfolios.
         """
         if self.kernels is not None:
             from ..kernels import set_kernel_mode
             set_kernel_mode(self.kernels)
         request0 = batch[0].request
-        hg = self.netlists.resolve(canonical_json(request0.netlist.key),
-                                   request0.netlist.load)
-        algorithm = self._algorithm_for(request0, hg)
+        netlist_key = canonical_json(request0.netlist.key)
+        plan = self.breaker.plan(netlist_key)
         try:
+            hg = self.netlists.resolve(netlist_key, request0.netlist.load)
+            if plan == PLAN_DEGRADED:
+                return [self._guarded(self._run_degraded, run, hg)
+                        for run in batch]
+            algorithm = self._algorithm_for(request0, hg)
             if len(batch) == 1:
-                payloads = [self._run_single(batch[0], hg, algorithm)]
+                payloads = [self._guarded(self._run_single, batch[0], hg,
+                                          algorithm)]
             else:
                 payloads = self._run_merged(batch, hg, algorithm)
-        except ProtocolError:
+        except Exception as exc:
             self._count("errors")
-            raise
+            self.breaker.record(netlist_key, healthy=False, error=str(exc))
+            if isinstance(exc, ProtocolError):
+                raise
+            raise ProtocolError(f"execution failed: {exc}",
+                                status=500) from exc
+        self.breaker.record(netlist_key,
+                            healthy=self._batch_healthy(payloads),
+                            error=self._batch_error(payloads))
         return payloads
+
+    def _guarded(self, runner, *args) -> object:
+        """Run one request's executor call, converting its failure into
+        a per-member exception instead of poisoning batch mates."""
+        try:
+            return runner(*args)
+        except ProtocolError as exc:
+            self._count("errors")
+            return exc
+        except Exception as exc:
+            self._count("errors")
+            return ProtocolError(f"execution failed: {exc}", status=500)
+
+    @staticmethod
+    def _batch_healthy(payloads: List[object]) -> bool:
+        """An execution is healthy only when every member produced a
+        payload whose starts all finished ``ok`` — crashes *and*
+        timeouts count against the breaker."""
+        for payload in payloads:
+            if isinstance(payload, Exception):
+                return False
+            statuses = payload.get("statuses", {})
+            if any(status != "ok" for status in statuses):
+                return False
+        return True
+
+    @staticmethod
+    def _batch_error(payloads: List[object]) -> str:
+        for payload in payloads:
+            if isinstance(payload, Exception):
+                return str(payload)
+            bad = [s for s in payload.get("statuses", {}) if s != "ok"]
+            if bad:
+                return f"starts finished {','.join(sorted(bad))}"
+        return ""
+
+    def _deadline_seconds(self, batch: List[PendingRun]) -> Optional[float]:
+        """Remaining wall budget for this executor invocation: the
+        tightest member deadline governs the merged portfolio (its
+        records are split back per request, so no member may be served
+        past its own deadline by a mate's slack)."""
+        instants = [r.deadline_at for r in batch if r.deadline_at is not None]
+        if not instants:
+            return None
+        remaining = min(instants) - time.monotonic()
+        return max(remaining, _MIN_PORTFOLIO_DEADLINE)
 
     def _algorithm_for(self, request: PartitionRequest, hg):
         if request.mode == "ml-reuse":
@@ -300,13 +519,52 @@ class ServiceEngine:
         request = run.request
         portfolio = Portfolio(algorithm=algorithm, hg=hg,
                               runs=request.runs, seed=request.seed,
-                              keep_results=True, trace=run.trace_path)
+                              keep_results=True, trace=run.trace_path,
+                              retries=self.retries, faults=self.faults,
+                              deadline_seconds=self._deadline_seconds([run]))
         result = execute(portfolio, jobs=self.jobs)
         self._count("executed_portfolios")
         self._count("executed_starts", result.runs)
         if run.trace_path is not None:
             self._traces[run.id] = run.trace_path
         return self._payload(run, result, hg)
+
+    def _run_degraded(self, run: PendingRun, hg) -> dict:
+        """Breaker-open fallback: one start of the cheapest kernel in
+        the *same cut class* instead of the request's full portfolio.
+
+        Kernel mode is process-global and the event loop computes
+        request keys (which embed the cut class) concurrently with this
+        thread, so the fallback must never cross cut classes:
+        ``reference`` drops to ``csr`` (bit-identical results, cheaper
+        inner loops), ``numpy`` stays ``numpy``.
+        """
+        from ..kernels import cut_class, kernel_mode, set_kernel_mode
+        request = run.request
+        previous = kernel_mode()
+        cheap = "numpy" if cut_class(previous) == "numpy" else "csr"
+        algorithm = self._algorithm_for(request, hg)
+        portfolio = Portfolio(algorithm=algorithm, hg=hg,
+                              runs=1, seed=request.seed,
+                              keep_results=True, trace=run.trace_path,
+                              deadline_seconds=self._deadline_seconds([run]))
+        set_kernel_mode(cheap)
+        try:
+            result = execute(portfolio, jobs=1)
+        finally:
+            set_kernel_mode(previous)
+        self._count("executed_portfolios")
+        self._count("executed_starts", result.runs)
+        self._count("degraded_served")
+        if run.trace_path is not None:
+            self._traces[run.id] = run.trace_path
+        payload = self._payload(run, result, hg)
+        payload["degraded"] = True
+        payload["degraded_reason"] = "breaker_open"
+        payload["runs"] = 1
+        _log.warning("breaker open for %s: served degraded single-start "
+                     "answer to %s", hg.name, run.id)
+        return payload
 
     def _run_merged(self, batch: List[PendingRun], hg,
                     algorithm) -> List[dict]:
@@ -323,7 +581,9 @@ class ServiceEngine:
         merged = BatchPortfolio(algorithm=algorithm, hg=hg,
                                 runs=len(job_list),
                                 seed=batch[0].request.seed,
-                                keep_results=True, job_list=job_list)
+                                keep_results=True, job_list=job_list,
+                                retries=self.retries, faults=self.faults,
+                                deadline_seconds=self._deadline_seconds(batch))
         executor = get_executor(self.jobs)
         result = executor.run(merged)
         self._count("executed_portfolios")
@@ -331,7 +591,7 @@ class ServiceEngine:
         self._count("batched_requests", len(batch))
         _log.info("batched %d requests (%d starts) on %s",
                   len(batch), len(job_list), hg.name)
-        payloads = []
+        payloads: List[object] = []
         for run, offset in zip(batch, offsets):
             n = run.request.runs
             records = [replace(result.records[offset + i], index=i)
@@ -345,7 +605,7 @@ class ServiceEngine:
             portfolio = Portfolio(algorithm=algorithm, hg=hg, runs=n,
                                   seed=run.request.seed, keep_results=True)
             record_result(sub, portfolio, jobs=executor.jobs)
-            payloads.append(self._payload(run, sub, hg))
+            payloads.append(self._guarded(self._payload, run, sub, hg))
         return payloads
 
     def _payload(self, run: PendingRun, result: PortfolioResult,
@@ -353,6 +613,11 @@ class ServiceEngine:
         request = run.request
         if not result.ok_records:
             first = result.records[0] if result.records else None
+            if result.records and all(r.status == STATUS_TIMEOUT
+                                      for r in result.records):
+                raise ProtocolError(
+                    f"deadline exhausted before any of {result.runs} "
+                    f"starts completed", status=504)
             raise ProtocolError(
                 f"all {result.runs} runs failed"
                 + (f": {first.error}" if first is not None else ""),
@@ -380,7 +645,15 @@ class ServiceEngine:
             "cpu_seconds": round(result.cpu_seconds, 6),
             "cached": False,
             "coalesced": False,
+            "degraded": False,
         }
+        if statuses.get(STATUS_TIMEOUT):
+            # Best-completed-starts partial: the portfolio deadline
+            # killed some starts but others finished — degrade rather
+            # than error, and never cache (see ``serve``'s factory).
+            payload["degraded"] = True
+            payload["degraded_reason"] = "deadline"
+            self._count("degraded_served")
         best = result.best
         if best.result is not None:
             partition = best.result.partition
@@ -424,8 +697,14 @@ class ServiceEngine:
         return {
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "jobs": self.jobs,
+            "default_deadline_ms": self.default_deadline_ms,
             "lane": {"queued": self.lane.queued, "busy": self.lane.busy,
-                     "draining": self.lane.draining},
+                     "draining": self.lane.draining,
+                     "max_queued": self.lane.max_queued,
+                     "shed": self.lane.shed,
+                     "expired": self.lane.expired,
+                     "retry_after_seconds": self.lane.retry_after()},
+            "breaker": self.breaker.stats(),
             "counters": self.counters(),
             "result_cache": self.results.stats(),
             "netlist_cache": self.netlists.stats(),
@@ -452,3 +731,13 @@ class ServiceEngine:
         registry.gauge("repro_service_lane_queued",
                        "Requests waiting on the execution lane."
                        ).set(float(self.lane.queued))
+        registry.counter("repro_service_lane_shed_total",
+                         "Requests refused with 429 at the lane's "
+                         "high-watermark.").value = float(self.lane.shed)
+        registry.counter("repro_service_lane_expired_total",
+                         "Queued requests whose deadline lapsed before "
+                         "execution.").value = float(self.lane.expired)
+        for stat, value in self.breaker.stats().items():
+            registry.gauge(f"repro_service_breaker_{stat}",
+                           f"Circuit breaker {stat.replace('_', ' ')}."
+                           ).set(float(value))

@@ -67,22 +67,45 @@ class ServiceJob:
 
 
 class JobTable:
-    """Live and recently-finished jobs, keyed by id."""
+    """Live and recently-finished jobs, keyed by id.
 
-    def __init__(self, max_finished: int = 256):
+    Finished jobs are bounded two ways so a long-lived daemon's job
+    table cannot leak: at most ``max_finished`` are retained (oldest
+    evicted first) and none longer than ``ttl_seconds``.  ``max_live``
+    is the admission-control bound: creating a job beyond it is load
+    shedding (HTTP 429 with a ``Retry-After`` hint), not queueing.
+    Evictions are counted for the metrics endpoint.
+    """
+
+    def __init__(self, max_finished: int = 256,
+                 ttl_seconds: Optional[float] = 3600.0,
+                 max_live: Optional[int] = None):
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ProtocolError(
+                f"job ttl_seconds must be > 0, got {ttl_seconds}",
+                status=500)
         self.max_finished = max_finished
+        self.ttl_seconds = ttl_seconds
+        self.max_live = max_live
+        self.evictions = 0
         self._jobs: Dict[str, ServiceJob] = {}
         self._ids = itertools.count(1)
 
     def create(self, kind: str, total: int = 1) -> ServiceJob:
+        self._prune()
+        if self.max_live is not None and self.live() >= self.max_live:
+            raise ProtocolError(
+                f"job table is full ({self.live()} live jobs, "
+                f"limit {self.max_live}); retry later",
+                status=429, retry_after=5.0)
         job = ServiceJob(id=f"j{next(self._ids):06d}-"
                             f"{secrets.token_hex(4)}",
                          kind=kind, total=total)
         self._jobs[job.id] = job
-        self._prune()
         return job
 
     def get(self, job_id: str) -> ServiceJob:
+        self._prune()
         job = self._jobs.get(job_id)
         if job is None:
             raise ProtocolError(f"unknown job {job_id!r}", status=404)
@@ -105,13 +128,28 @@ class JobTable:
     def values(self):
         return list(self._jobs.values())
 
-    def _prune(self) -> None:
-        """Drop the oldest *finished* jobs beyond the history bound
-        (live jobs are never evicted)."""
+    def stats(self) -> Dict[str, int]:
+        finished = sum(1 for j in self._jobs.values()
+                       if j.state in (JOB_DONE, JOB_FAILED, JOB_CANCELLED))
+        return {"live": self.live(), "finished": finished,
+                "evictions": self.evictions}
+
+    def _prune(self, now: Optional[float] = None) -> None:
+        """Drop finished jobs past their TTL, then the oldest finished
+        jobs beyond the history bound (live jobs are never evicted)."""
+        now = time.time() if now is None else now
         finished = [j for j in self._jobs.values()
                     if j.state in (JOB_DONE, JOB_FAILED, JOB_CANCELLED)]
+        if self.ttl_seconds is not None:
+            expired = [j for j in finished
+                       if now - (j.finished or j.created) > self.ttl_seconds]
+            for job in expired:
+                del self._jobs[job.id]
+                self.evictions += 1
+            finished = [j for j in finished if j.id in self._jobs]
         excess = len(finished) - self.max_finished
         if excess > 0:
             finished.sort(key=lambda j: j.finished or j.created)
             for job in finished[:excess]:
                 del self._jobs[job.id]
+                self.evictions += 1

@@ -31,9 +31,9 @@ from ..errors import ReproError
 from ..hypergraph import Hypergraph, load_circuit, read_hmetis, read_json
 from ..solvers import ALGORITHMS
 
-__all__ = ["SCHEMA_VERSION", "ProtocolError", "NetlistSpec",
-           "PartitionRequest", "canonical_json", "netlist_digest",
-           "inline_netlist"]
+__all__ = ["SCHEMA_VERSION", "MAX_DEADLINE_MS", "ProtocolError",
+           "NetlistSpec", "PartitionRequest", "canonical_json",
+           "netlist_digest", "inline_netlist"]
 
 #: Version stamped into every response envelope.
 SCHEMA_VERSION = 1
@@ -52,13 +52,24 @@ MODES = ("fresh", "ml-reuse")
 _KEY_LENGTH = 32
 
 
+#: Upper bound accepted for a request's ``deadline_ms`` (one hour) —
+#: matching the runtime's own finite collection ceiling: nothing in
+#: the service is allowed to wait unboundedly.
+MAX_DEADLINE_MS = 3_600_000
+
+
 class ProtocolError(ReproError):
     """A malformed or unserviceable request; ``status`` is the HTTP
-    answer (400 for bad bodies, 404 for unknown resources, ...)."""
+    answer (400 for bad bodies, 404 for unknown resources, 429 for
+    load shed, 504 for an exhausted deadline, ...).  ``retry_after``,
+    when set, is surfaced as a ``Retry-After`` header so shed clients
+    know when the queue is likely to have drained."""
 
-    def __init__(self, message: str, status: int = 400):
+    def __init__(self, message: str, status: int = 400,
+                 retry_after: Optional[float] = None):
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
 
 
 def canonical_json(obj) -> str:
@@ -235,10 +246,17 @@ class PartitionRequest:
     hierarchy_seed: int = 0
     include_assignment: bool = False
     trace: bool = False
+    #: Per-request wall-clock deadline in milliseconds; ``None`` means
+    #: the server default applies.  Like the other scheduling knobs it
+    #: never reaches the request key: a *complete* result is
+    #: deadline-independent, and degraded (partial) results are never
+    #: cached, so one cache entry serves every deadline.
+    deadline_ms: Optional[int] = None
 
     _FIELDS = ("netlist", "algorithm", "k", "ratio", "threshold",
                "tolerance", "runs", "seed", "vcycles", "descents", "mode",
-               "hierarchy_seed", "include_assignment", "trace")
+               "hierarchy_seed", "include_assignment", "trace",
+               "deadline_ms")
 
     @classmethod
     def from_json(cls, data: object) -> "PartitionRequest":
@@ -263,6 +281,7 @@ class PartitionRequest:
             include_assignment=_typed(data, "include_assignment", bool,
                                       False),
             trace=_typed(data, "trace", bool, False),
+            deadline_ms=_typed(data, "deadline_ms", int, None),
         )
         _require(request.algorithm in ALGORITHMS,
                  f"unknown algorithm {request.algorithm!r} "
@@ -279,6 +298,11 @@ class PartitionRequest:
                  "tolerance must be in [0, 1)")
         _require(request.vcycles >= 0, "vcycles must be >= 0")
         _require(request.descents >= 1, "descents must be >= 1")
+        if request.deadline_ms is not None:
+            _require(request.deadline_ms >= 1,
+                     "deadline_ms must be >= 1")
+            _require(request.deadline_ms <= MAX_DEADLINE_MS,
+                     f"deadline_ms must be <= {MAX_DEADLINE_MS}")
         if request.mode == "ml-reuse":
             _require(request.algorithm in ("mlc", "mlf"),
                      "mode 'ml-reuse' requires a multilevel algorithm "

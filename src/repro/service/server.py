@@ -22,6 +22,16 @@ Endpoints
 * ``GET /healthz`` — liveness + engine diagnostics; 503 once draining.
 * ``GET /version`` — package version + git SHA.
 
+Overload protection
+-------------------
+The daemon prefers shedding to queueing: a full execution lane or job
+table answers 429 with ``Retry-After``, a connection flood is refused
+at the socket with 503, and slow or hostile clients (slowloris heads,
+trickled bodies) are timed out with 408 without disturbing the accept
+loop.  Per-request deadlines (``deadline_ms``, server default
+``--deadline-ms``) bound queue wait + execution; see
+:mod:`repro.service.engine` for the degradation ladder.
+
 Shutdown
 --------
 SIGTERM/SIGINT trigger a graceful drain: stop accepting, fail queued
@@ -59,7 +69,8 @@ _MAX_BODY_BYTES = 64 * 1024 * 1024
 _STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request",
                 404: "Not Found", 405: "Method Not Allowed",
                 408: "Request Timeout", 413: "Payload Too Large",
-                500: "Internal Server Error", 503: "Service Unavailable"}
+                429: "Too Many Requests", 500: "Internal Server Error",
+                503: "Service Unavailable", 504: "Gateway Timeout"}
 
 
 class _HttpError(Exception):
@@ -68,15 +79,37 @@ class _HttpError(Exception):
         self.status = status
 
 
-async def _read_request(reader: asyncio.StreamReader
+async def _read_request(reader: asyncio.StreamReader,
+                        idle_timeout: Optional[float] = None,
+                        read_timeout: Optional[float] = None,
+                        max_body_bytes: int = _MAX_BODY_BYTES,
                         ) -> Optional[Tuple[str, str, Dict[str, str],
                                             bytes]]:
-    """Parse one request; ``None`` on clean EOF (client went away)."""
+    """Parse one request; ``None`` on clean EOF (client went away).
+
+    Two timers defend the accept loop against slow clients:
+    ``idle_timeout`` bounds the wait for the *first* byte of a request
+    — an idle keep-alive socket is closed silently (``None``), never
+    sent a spurious 408 that would desync a pipelining client —
+    while ``read_timeout`` bounds the rest of the head and the body,
+    so a slowloris trickling one byte a minute gets 408 and is
+    disconnected instead of pinning a connection slot forever.
+    """
+    # asyncio.timeout over wait_for: no wrapper task per read, which
+    # keeps the cache-hit hot path at its pre-hardening latency.
     try:
-        head = await reader.readuntil(b"\r\n\r\n")
-    except asyncio.IncompleteReadError as exc:
-        if not exc.partial:
-            return None
+        async with asyncio.timeout(idle_timeout):
+            first = await reader.readexactly(1)
+    except TimeoutError:
+        return None  # idle keep-alive connection: close silently
+    except asyncio.IncompleteReadError:
+        return None  # clean EOF before a new request began
+    try:
+        async with asyncio.timeout(read_timeout):
+            head = first + await reader.readuntil(b"\r\n\r\n")
+    except TimeoutError:
+        raise _HttpError(408, "timed out reading request head")
+    except asyncio.IncompleteReadError:
         raise _HttpError(400, "truncated request head")
     except asyncio.LimitOverrunError:
         raise _HttpError(413, "request head too large")
@@ -100,21 +133,27 @@ async def _read_request(reader: asyncio.StreamReader
         body_len = int(length)
     except ValueError:
         raise _HttpError(400, f"bad Content-Length {length!r}")
-    if body_len < 0 or body_len > _MAX_BODY_BYTES:
+    if body_len < 0 or body_len > max_body_bytes:
         raise _HttpError(413, f"body of {body_len} bytes exceeds limit")
-    body = await reader.readexactly(body_len) if body_len else b""
+    try:
+        async with asyncio.timeout(read_timeout):
+            body = await reader.readexactly(body_len) if body_len else b""
+    except TimeoutError:
+        raise _HttpError(408, "timed out reading request body")
     return method, target, headers, body
 
 
 def _response(status: int, payload: bytes, content_type: str,
-              keep_alive: bool) -> bytes:
+              keep_alive: bool,
+              extra_headers: Optional[Dict[str, str]] = None) -> bytes:
     reason = _STATUS_TEXT.get(status, "Unknown")
     head = (f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            "\r\n")
-    return head.encode("latin-1") + payload
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n")
+    for name, value in (extra_headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    return (head + "\r\n").encode("latin-1") + payload
 
 
 def _json_bytes(obj) -> bytes:
@@ -126,14 +165,26 @@ class PartitionServer:
 
     def __init__(self, engine: Optional[ServiceEngine] = None,
                  host: str = "127.0.0.1", port: int = DEFAULT_PORT,
-                 drain_seconds: float = 30.0):
+                 drain_seconds: float = 30.0,
+                 max_connections: Optional[int] = 128,
+                 idle_timeout: Optional[float] = 300.0,
+                 read_timeout: Optional[float] = 30.0,
+                 max_body_bytes: int = _MAX_BODY_BYTES,
+                 job_ttl: Optional[float] = 3600.0,
+                 max_jobs: Optional[int] = 64):
         self.engine = engine if engine is not None else ServiceEngine()
         self.host = host
         self.port = port
         self.drain_seconds = drain_seconds
-        self.jobs = JobTable()
+        self.max_connections = max_connections
+        self.idle_timeout = idle_timeout
+        self.read_timeout = read_timeout
+        self.max_body_bytes = max_body_bytes
+        self.jobs = JobTable(ttl_seconds=job_ttl, max_live=max_jobs)
         self.registry = MetricsRegistry()
         self.draining = False
+        self.connections = 0
+        self.connections_rejected = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._previous_metrics = None
         self._shutdown_event: Optional[asyncio.Event] = None
@@ -211,10 +262,31 @@ class PartitionServer:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        if self.max_connections is not None and \
+                self.connections >= self.max_connections:
+            # Admission control at the socket: refuse before parsing so
+            # a connection flood cannot starve established clients.
+            self.connections_rejected += 1
+            try:
+                writer.write(_response(
+                    503, _json_bytes({"error": "connection limit "
+                                      f"({self.max_connections}) reached"}),
+                    "application/json", keep_alive=False,
+                    extra_headers={"Retry-After": "1"}))
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            finally:
+                writer.close()
+            return
+        self.connections += 1
         try:
             while True:
                 try:
-                    parsed = await _read_request(reader)
+                    parsed = await _read_request(
+                        reader, idle_timeout=self.idle_timeout,
+                        read_timeout=self.read_timeout,
+                        max_body_bytes=self.max_body_bytes)
                 except _HttpError as exc:
                     writer.write(_response(
                         exc.status, _json_bytes({"error": str(exc)}),
@@ -224,12 +296,12 @@ class PartitionServer:
                 if parsed is None:
                     return
                 method, target, headers, body = parsed
-                status, payload, content_type = await self._dispatch(
-                    method, target, body)
+                status, payload, content_type, extra = \
+                    await self._dispatch(method, target, body)
                 keep_alive = headers.get("connection", "").lower() != \
                     "close" and not self.draining
                 writer.write(_response(status, payload, content_type,
-                                       keep_alive))
+                                       keep_alive, extra_headers=extra))
                 await writer.drain()
                 if not keep_alive:
                     return
@@ -237,17 +309,20 @@ class PartitionServer:
                 asyncio.IncompleteReadError):
             pass
         finally:
+            self.connections -= 1
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _dispatch(self, method: str, target: str,
-                        body: bytes) -> Tuple[int, bytes, str]:
+    async def _dispatch(self, method: str, target: str, body: bytes
+                        ) -> Tuple[int, bytes, str,
+                                   Optional[Dict[str, str]]]:
         path = target.split("?", 1)[0]
         started = time.perf_counter()
         endpoint = path.split("/", 2)[1] if "/" in path else ""
+        extra: Optional[Dict[str, str]] = None
         try:
             status, payload, content_type = await self._route(
                 method, path, body)
@@ -255,6 +330,11 @@ class PartitionServer:
             status = exc.status
             payload = _json_bytes({"error": str(exc)})
             content_type = "application/json"
+            if exc.retry_after is not None:
+                # Load-shedding responses tell the client when to come
+                # back; see ServiceClient's 429 handling.
+                extra = {"Retry-After":
+                         str(max(1, int(round(exc.retry_after))))}
         except Exception as exc:  # never kill the connection loop
             _log.exception("unhandled error serving %s %s", method, path)
             status = 500
@@ -269,7 +349,7 @@ class PartitionServer:
             "Request handling latency, by endpoint.",
             endpoint=endpoint or "root"
         ).observe(time.perf_counter() - started)
-        return status, payload, content_type
+        return status, payload, content_type, extra
 
     async def _route(self, method: str, path: str,
                      body: bytes) -> Tuple[int, bytes, str]:
@@ -315,10 +395,27 @@ class PartitionServer:
             "status": "draining" if self.draining else "ok",
             **self.engine.stats(),
             "jobs_live": self.jobs.live(),
+            "jobs": self.jobs.stats(),
+            "connections": self.connections,
+            "connections_rejected": self.connections_rejected,
         }), "application/json"
 
     def _render_metrics(self) -> bytes:
         self.engine.export_metrics(self.registry)
+        job_stats = self.jobs.stats()
+        self.registry.gauge("repro_service_jobs_live",
+                            "Live (queued or running) jobs."
+                            ).set(float(job_stats["live"]))
+        self.registry.counter("repro_service_job_evictions_total",
+                              "Finished jobs evicted by TTL or history "
+                              "bound.").value = float(job_stats["evictions"])
+        self.registry.gauge("repro_service_connections",
+                            "Open client connections."
+                            ).set(float(self.connections))
+        self.registry.counter("repro_service_connections_rejected_total",
+                              "Connections refused at the connection "
+                              "limit.").value = \
+            float(self.connections_rejected)
         # The lane's worker thread appends runtime metrics while we
         # render; a mid-iteration insert is rare but possible.
         for _ in range(3):
@@ -338,14 +435,16 @@ class PartitionServer:
 
     async def _partition(self, body: bytes) -> Tuple[int, bytes, str]:
         if self.draining:
-            raise ProtocolError("server is shutting down", status=503)
+            raise ProtocolError("server is shutting down", status=503,
+                                retry_after=self.drain_seconds)
         request = PartitionRequest.from_json(self._parse_body(body))
         payload = await self.engine.serve(request)
         return 200, _json_bytes(payload), "application/json"
 
     async def _sweep(self, body: bytes) -> Tuple[int, bytes, str]:
         if self.draining:
-            raise ProtocolError("server is shutting down", status=503)
+            raise ProtocolError("server is shutting down", status=503,
+                                retry_after=self.drain_seconds)
         data = self._parse_body(body)
         if not isinstance(data, dict) or "requests" not in data:
             raise ProtocolError(

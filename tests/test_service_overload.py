@@ -1,0 +1,539 @@
+"""Service hardening tests: deadlines, load shedding, the circuit
+breaker, and hostile clients.
+
+Everything here carries ``service`` + ``overload`` markers (the CI
+``service-chaos`` job runs exactly the ``overload`` selection).  The
+engine-level tests drive the asyncio pipeline in-process via
+``asyncio.run``; the HTTP-level tests reuse the background-thread
+daemon from ``test_service_server`` and talk to it with raw sockets
+where the point is precisely that the input is not well-formed HTTP.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.faults import FAULT_EXIT, FAULT_HANG, FaultPlan
+from repro.runtime import backoff_delay
+from repro.service import (DEADLINE_GRACE_SECONDS, CircuitBreaker,
+                           PartitionRequest, ProtocolError, ServiceEngine,
+                           ServiceClient, ServiceError, canonical_json)
+from repro.service.breaker import (PLAN_DEGRADED, PLAN_FULL, PLAN_PROBE,
+                                   STATE_CLOSED, STATE_OPEN)
+from repro.service.engine import ExecutionLane, PendingRun
+from repro.service.jobs import JOB_DONE, JobTable
+
+from .test_service_server import _ServerThread, _body
+
+pytestmark = [pytest.mark.service, pytest.mark.overload]
+
+
+def _request(**overrides) -> PartitionRequest:
+    body = {
+        "netlist": {"generate": {"name": "primary1", "scale": 0.05,
+                                 "seed": 1}},
+        "algorithm": "fm",
+        "runs": 2,
+        "seed": 7,
+    }
+    body.update(overrides)
+    return PartitionRequest.from_json(body)
+
+
+def _serve(engine, coro_builder):
+    """Run ``coro_builder()`` against a started engine in one loop."""
+    async def main():
+        engine.start()
+        try:
+            return await coro_builder()
+        finally:
+            await engine.drain(15)
+    return asyncio.run(main())
+
+
+class TestBackoffDelay:
+    def test_first_attempt_is_immediate(self):
+        assert backoff_delay(0.25, 5.0, 0, 1, 1) == 0.0
+        assert backoff_delay(0.0, 5.0, 0, 1, 4) == 0.0
+
+    def test_jitter_is_seeded_and_bounded(self):
+        d2 = backoff_delay(0.25, 5.0, 0, 1, 2)
+        assert 0.125 <= d2 < 0.25
+        assert backoff_delay(0.25, 5.0, 0, 1, 2) == d2  # replayable
+        assert backoff_delay(0.25, 5.0, 0, 2, 2) != d2  # per-index
+        assert backoff_delay(0.25, 0.4, 0, 1, 30) <= 0.4  # capped
+
+    def test_matches_portfolio_derivation(self, tiny_hg):
+        # The client reuses the exact runtime derivation: a portfolio
+        # with the same (base, cap, seed) waits identical delays.
+        from repro.runtime import Portfolio
+        from repro.solvers import build_algorithm
+        portfolio = Portfolio(algorithm=build_algorithm("fm"), hg=tiny_hg,
+                              runs=2, seed=9, backoff_seconds=0.25,
+                              backoff_cap=5.0)
+        for index in (0, 1):
+            for attempt in (1, 2, 3):
+                assert portfolio.backoff_delay(index, attempt) == \
+                    backoff_delay(0.25, 5.0, 9, index, attempt)
+
+
+class TestExecutionLaneAdmission:
+    def _lane_run(self, i, deadline_at=None):
+        return PendingRun(
+            id=f"r{i}", request=None, key=f"k{i}",
+            future=asyncio.get_running_loop().create_future(),
+            deadline_at=deadline_at)
+
+    def test_full_queue_sheds_with_retry_after(self):
+        def runner(batch):
+            time.sleep(0.4)
+            return [{"id": run.id} for run in batch]
+
+        async def main():
+            lane = ExecutionLane(runner, max_queued=1)
+            lane.start()
+            first = asyncio.ensure_future(lane.submit(self._lane_run(0)))
+            await asyncio.sleep(0.15)  # consumer picked run 0 up
+            second = asyncio.ensure_future(lane.submit(self._lane_run(1)))
+            await asyncio.sleep(0.05)  # run 1 now occupies the queue
+            with pytest.raises(ProtocolError) as exc:
+                await lane.submit(self._lane_run(2))
+            assert exc.value.status == 429
+            assert exc.value.retry_after is not None
+            assert exc.value.retry_after >= 1.0
+            assert lane.shed == 1
+            assert (await first)["id"] == "r0"
+            assert (await second)["id"] == "r1"
+            await lane.drain(5)
+        asyncio.run(main())
+
+    def test_queued_run_past_deadline_gets_504_without_executing(self):
+        executed = []
+
+        def runner(batch):
+            executed.extend(run.id for run in batch)
+            time.sleep(0.3)
+            return [{"id": run.id} for run in batch]
+
+        async def main():
+            lane = ExecutionLane(runner, max_queued=8)
+            lane.start()
+            first = asyncio.ensure_future(lane.submit(self._lane_run(0)))
+            await asyncio.sleep(0.1)  # run 0 is in flight
+            doomed = asyncio.ensure_future(lane.submit(self._lane_run(
+                1, deadline_at=time.monotonic() - 0.01)))
+            await first
+            with pytest.raises(ProtocolError) as exc:
+                await doomed
+            assert exc.value.status == 504
+            assert lane.expired == 1
+            assert executed == ["r0"]
+            await lane.drain(5)
+        asyncio.run(main())
+
+
+class TestDeadlines:
+    def test_hanging_start_yields_degraded_partial_within_deadline(self):
+        # Start 1's worker hangs for 60s; the 2.5s portfolio deadline
+        # kills it and the request is answered from the start that
+        # completed, flagged degraded — not an error, and on time.
+        engine = ServiceEngine(
+            jobs=2, default_deadline_ms=300_000,
+            faults=FaultPlan(targeted={(1, 1): FAULT_HANG},
+                             hang_seconds=60.0))
+        begun = time.monotonic()
+        payload = _serve(engine, lambda: engine.serve(
+            _request(deadline_ms=2500)))
+        elapsed = time.monotonic() - begun
+        assert payload["degraded"] is True
+        assert payload["degraded_reason"] == "deadline"
+        assert payload["statuses"] == {"ok": 1, "timeout": 1}
+        assert len(payload["cuts"]) == 1
+        assert payload["deadline_ms"] == 2500
+        # The documented hard bound, with scheduling slop on top.
+        assert elapsed <= 2.5 + DEADLINE_GRACE_SECONDS + 1.5
+        assert engine.counters()["degraded_served"] == 1
+
+    def test_degraded_partials_are_never_cached(self):
+        engine = ServiceEngine(
+            jobs=2,
+            faults=FaultPlan(targeted={(1, 1): FAULT_HANG},
+                             hang_seconds=60.0))
+
+        async def both():
+            first = await engine.serve(_request(deadline_ms=2000))
+            second = await engine.serve(_request(deadline_ms=2000))
+            return first, second
+
+        first, second = _serve(engine, both)
+        assert first["degraded"] and second["degraded"]
+        assert second["cached"] is False
+        assert engine.counters()["cache_hits"] == 0
+        assert engine.counters()["executed_portfolios"] == 2
+
+    def test_every_start_hanging_yields_504(self):
+        engine = ServiceEngine(
+            jobs=2,
+            faults=FaultPlan(targeted={(0, 1): FAULT_HANG,
+                                       (1, 1): FAULT_HANG},
+                             hang_seconds=60.0))
+        begun = time.monotonic()
+        with pytest.raises(ProtocolError) as exc:
+            _serve(engine, lambda: engine.serve(
+                _request(deadline_ms=1500)))
+        elapsed = time.monotonic() - begun
+        assert exc.value.status == 504
+        assert elapsed <= 1.5 + DEADLINE_GRACE_SECONDS + 1.5
+        assert engine.counters()["errors"] >= 1
+
+
+class TestCircuitBreaker:
+    def test_state_machine(self):
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_seconds=10,
+                                 clock=lambda: now[0])
+        assert breaker.plan("net") == PLAN_FULL
+        breaker.record("net", healthy=False, error="boom")
+        assert breaker.state("net") == STATE_CLOSED
+        breaker.record("net", healthy=False, error="boom")
+        assert breaker.state("net") == STATE_OPEN
+        assert breaker.plan("net") == PLAN_DEGRADED
+        now[0] += 11.0  # cooldown elapsed: exactly one probe
+        assert breaker.plan("net") == PLAN_PROBE
+        breaker.record("net", healthy=False, error="still bad")
+        assert breaker.state("net") == STATE_OPEN  # re-opened
+        now[0] += 11.0
+        assert breaker.plan("net") == PLAN_PROBE
+        breaker.record("net", healthy=True)
+        assert breaker.state("net") == STATE_CLOSED
+        stats = breaker.stats()
+        assert stats["trips"] == 1 and stats["recoveries"] == 1
+        assert stats["probes"] == 2
+
+    def test_healthy_executions_reset_the_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        for _ in range(5):
+            breaker.record("net", healthy=False)
+            breaker.record("net", healthy=True)
+        assert breaker.state("net") == STATE_CLOSED
+        assert breaker.stats()["trips"] == 0
+
+    def test_engine_trips_degrades_probes_and_recovers(self):
+        # Every start raises while faults are armed; two failed
+        # requests trip the per-netlist breaker, the third is served
+        # degraded, and after the cooldown a clean probe closes it.
+        engine = ServiceEngine(
+            jobs=1, breaker_failures=2, breaker_cooldown=0.3,
+            faults=FaultPlan(rate=1.0, kinds=("raise",), attempts=99))
+        key = canonical_json(_request().netlist.key)
+
+        async def scenario():
+            outcomes = []
+            for seed in (1, 2):
+                with pytest.raises(ProtocolError) as exc:
+                    await engine.serve(_request(seed=seed))
+                outcomes.append(exc.value.status)
+            assert engine.breaker.state(key) == STATE_OPEN
+            degraded = await engine.serve(_request(seed=3))
+            engine.faults = None  # the netlist "recovers"
+            await asyncio.sleep(0.35)  # past the breaker cooldown
+            probe = await engine.serve(_request(seed=4))
+            after = await engine.serve(_request(seed=5))
+            return outcomes, degraded, probe, after
+
+        outcomes, degraded, probe, after = _serve(engine, scenario)
+        assert outcomes == [500, 500]
+        assert degraded["degraded"] is True
+        assert degraded["degraded_reason"] == "breaker_open"
+        assert degraded["runs"] == 1 and len(degraded["cuts"]) == 1
+        assert probe["degraded"] is False
+        assert after["degraded"] is False
+        assert engine.breaker.state(key) == STATE_CLOSED
+        stats = engine.breaker.stats()
+        assert stats["trips"] == 1 and stats["recoveries"] == 1
+        assert engine.counters()["degraded_served"] == 1
+
+
+class TestServiceChaos:
+    def test_worker_death_mid_request_recovers_and_keeps_ledger_clean(
+            self, tiny_hg, tmp_path, monkeypatch):
+        # Start 0's worker process dies on its first attempt; the
+        # retry recovers, the daemon stays healthy, and the ledger
+        # line is complete and parseable.
+        ledger = tmp_path / "ledger.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER", str(ledger))
+        with _ServerThread(
+                jobs=2, retries=1,
+                faults=FaultPlan(targeted={(0, 1): FAULT_EXIT})) as srv, \
+                srv.client() as client:
+            payload = client.partition(_body(tiny_hg))
+            assert payload["statuses"] == {"ok": 2}
+            assert payload["degraded"] is False
+            assert client.healthz()["status"] == "ok"
+        entries = [json.loads(line)
+                   for line in ledger.read_text().splitlines()]
+        assert len(entries) == 1
+        assert entries[0]["fingerprint"] == payload["fingerprint"]
+
+    def test_hanging_worker_mid_request_leaves_daemon_serving(
+            self, tiny_hg, tmp_path, monkeypatch):
+        ledger = tmp_path / "ledger.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER", str(ledger))
+        with _ServerThread(
+                jobs=2,
+                faults=FaultPlan(targeted={(1, 1): FAULT_HANG},
+                                 hang_seconds=60.0)) as srv, \
+                srv.client() as client:
+            payload = client.partition(
+                _body(tiny_hg, deadline_ms=2000))
+            assert payload["degraded"] is True
+            assert payload["degraded_reason"] == "deadline"
+            # The daemon survived the kill and keeps serving.
+            assert client.healthz()["status"] == "ok"
+        for line in ledger.read_text().splitlines():
+            assert json.loads(line)["fingerprint"]
+
+    def test_saturating_load_sheds_and_bounds_accepted_latency(self):
+        # Open-loop style burst: 8 distinct heavy requests against a
+        # 2-deep lane.  The daemon must shed the excess with 429 (and
+        # a Retry-After hint) while every accepted request is answered
+        # within its deadline + grace.
+        deadline_s = 20.0
+        with _ServerThread(max_queued=2, breaker_failures=100,
+                           default_deadline_ms=int(deadline_s * 1000)) \
+                as srv:
+            results = []
+            lock = threading.Lock()
+
+            def one(i):
+                with srv.client(retries=0, timeout=60.0) as client:
+                    begun = time.monotonic()
+                    try:
+                        client.partition({
+                            "netlist": {"generate": {"name": "primary1",
+                                                     "scale": 0.2,
+                                                     "seed": 1}},
+                            "algorithm": "fm", "runs": 1, "seed": i,
+                            "threshold": 20 + i})
+                        outcome = ("ok", time.monotonic() - begun, None)
+                    except ServiceError as exc:
+                        outcome = (exc.status, time.monotonic() - begun,
+                                   exc.retry_after)
+                    with lock:
+                        results.append(outcome)
+
+            workers = [threading.Thread(target=one, args=(i,))
+                       for i in range(8)]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=120)
+            assert all(not w.is_alive() for w in workers)
+            shed = [r for r in results if r[0] == 429]
+            accepted = [r for r in results if r[0] == "ok"]
+            assert shed, f"no 429s under saturation: {results}"
+            assert accepted, f"nothing accepted: {results}"
+            for _, _, retry_after in shed:
+                assert retry_after is not None and retry_after >= 1.0
+            for _, elapsed, _ in accepted:
+                assert elapsed <= deadline_s + DEADLINE_GRACE_SECONDS + 2.0
+            with srv.client() as client:
+                assert client.healthz()["status"] == "ok"
+                assert client.metric_value(
+                    "repro_service_lane_shed_total") == float(len(shed))
+
+
+def _raw_exchange(port: int, data: bytes, timeout: float = 8.0) -> bytes:
+    """Send raw bytes, collect whatever the server answers until it
+    closes the connection (or the local timeout strikes)."""
+    with socket.create_connection(("127.0.0.1", port),
+                                  timeout=timeout) as sock:
+        if data:
+            sock.sendall(data)
+        sock.settimeout(timeout)
+        chunks = []
+        try:
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        except socket.timeout:
+            pass
+        return b"".join(chunks)
+
+
+class TestHostileInput:
+    def _server(self):
+        return _ServerThread(server_kw={"idle_timeout": 0.6,
+                                        "read_timeout": 0.6,
+                                        "max_body_bytes": 1024})
+
+    def test_oversized_body_is_rejected_without_reading_it(self):
+        with self._server() as srv:
+            response = _raw_exchange(
+                srv.port,
+                b"POST /partition HTTP/1.1\r\n"
+                b"Content-Length: 99999999\r\n\r\n")
+            assert response.startswith(b"HTTP/1.1 413 ")
+            with srv.client() as client:
+                assert client.healthz()["status"] == "ok"
+
+    def test_slowloris_head_gets_408_and_accept_loop_survives(self):
+        with self._server() as srv:
+            # A request line but never the terminating CRLFCRLF: the
+            # read timeout must cut the client loose with 408.
+            response = _raw_exchange(
+                srv.port, b"POST /partition HTTP/1.1\r\nContent-")
+            assert response.startswith(b"HTTP/1.1 408 ")
+            with srv.client() as client:
+                assert client.healthz()["status"] == "ok"
+
+    def test_trickled_body_gets_408(self):
+        with self._server() as srv:
+            response = _raw_exchange(
+                srv.port,
+                b"POST /partition HTTP/1.1\r\n"
+                b"Content-Length: 100\r\n\r\n{\"a\":")  # body stalls
+            assert response.startswith(b"HTTP/1.1 408 ")
+
+    def test_idle_connection_is_closed_silently(self):
+        with self._server() as srv:
+            response = _raw_exchange(srv.port, b"")
+            assert response == b""  # no spurious 408 on idle close
+            with srv.client() as client:
+                assert client.healthz()["status"] == "ok"
+
+    def test_truncated_json_is_a_clean_400(self):
+        with self._server() as srv:
+            body = b'{"netlist": {'
+            response = _raw_exchange(
+                srv.port,
+                b"POST /partition HTTP/1.1\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body)
+            assert response.startswith(b"HTTP/1.1 400 ")
+            assert b"not valid JSON" in response
+
+    def test_invalid_deadline_ms_is_a_clean_400(self, tiny_hg):
+        with _ServerThread() as srv, srv.client() as client:
+            for bad in (0, -5, 10**10, True, "soon"):
+                with pytest.raises(ServiceError) as exc:
+                    client.partition(_body(tiny_hg, deadline_ms=bad))
+                assert exc.value.status == 400, f"deadline_ms={bad!r}"
+            assert client.healthz()["status"] == "ok"
+
+
+class TestJobTableBounds:
+    def test_live_cap_sheds_and_ttl_evicts(self):
+        table = JobTable(max_finished=8, ttl_seconds=0.05, max_live=2)
+        first = table.create("sweep")
+        table.create("sweep")
+        with pytest.raises(ProtocolError) as exc:
+            table.create("sweep")
+        assert exc.value.status == 429
+        assert exc.value.retry_after is not None
+        # Finish one past its TTL: the next create prunes it and fits.
+        first.state = JOB_DONE
+        first.finished = time.time() - 1.0
+        third = table.create("sweep")
+        assert table.evictions == 1
+        with pytest.raises(ProtocolError) as exc:
+            table.get(first.id)
+        assert exc.value.status == 404
+        assert table.get(third.id) is third
+
+    def test_max_finished_still_bounds_history(self):
+        table = JobTable(max_finished=2, ttl_seconds=None)
+        jobs = [table.create("sweep") for _ in range(5)]
+        for i, job in enumerate(jobs):
+            job.state = JOB_DONE
+            job.finished = time.time() + i  # strictly ordered
+        table.create("sweep")  # triggers the prune
+        assert table.evictions == 3
+        assert table.get(jobs[-1].id) is jobs[-1]
+        with pytest.raises(ProtocolError):
+            table.get(jobs[0].id)
+
+
+class _Stub429Server:
+    """Tiny raw-socket server: answers 429 (with Retry-After: 0)
+    ``n_shed`` times on a keep-alive connection, then 200."""
+
+    def __init__(self, n_shed: int = 1):
+        self.n_shed = n_shed
+        self.requests_seen = 0
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        conn, _ = self._sock.accept()
+        with conn:
+            buffer = b""
+            while True:
+                while b"\r\n\r\n" not in buffer:
+                    chunk = conn.recv(4096)
+                    if not chunk:
+                        return
+                    buffer += chunk
+                head, _, buffer = buffer.partition(b"\r\n\r\n")
+                length = 0
+                for line in head.split(b"\r\n"):
+                    if line.lower().startswith(b"content-length:"):
+                        length = int(line.split(b":", 1)[1])
+                while len(buffer) < length:
+                    buffer += conn.recv(4096)
+                buffer = buffer[length:]
+                self.requests_seen += 1
+                if self.requests_seen <= self.n_shed:
+                    body = b'{"error": "shed"}'
+                    conn.sendall(
+                        b"HTTP/1.1 429 Too Many Requests\r\n"
+                        b"Content-Type: application/json\r\n"
+                        + f"Content-Length: {len(body)}\r\n".encode()
+                        + b"Retry-After: 0\r\n"
+                        b"Connection: keep-alive\r\n\r\n" + body)
+                    continue
+                body = b'{"ok": true}'
+                conn.sendall(
+                    b"HTTP/1.1 200 OK\r\n"
+                    b"Content-Type: application/json\r\n"
+                    + f"Content-Length: {len(body)}\r\n".encode()
+                    + b"Connection: close\r\n\r\n" + body)
+                return
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._sock.close()
+        self._thread.join(timeout=5)
+
+
+class TestClientRetries:
+    def test_client_honors_retry_after_on_429(self):
+        with _Stub429Server(n_shed=2) as stub:
+            with ServiceClient("127.0.0.1", stub.port, timeout=10,
+                               retries=2, backoff_seconds=0.01) as client:
+                begun = time.monotonic()
+                payload = client._json("POST", "/partition", {"x": 1})
+                elapsed = time.monotonic() - begun
+            assert payload == {"ok": True}
+            assert stub.requests_seen == 3
+            assert elapsed < 5.0  # Retry-After: 0 kept the waits short
+
+    def test_exhausted_retries_surface_the_429(self):
+        with _Stub429Server(n_shed=10) as stub:
+            with ServiceClient("127.0.0.1", stub.port, timeout=10,
+                               retries=1, backoff_seconds=0.01) as client:
+                with pytest.raises(ServiceError) as exc:
+                    client._json("POST", "/partition", {"x": 1})
+            assert exc.value.status == 429
+            assert exc.value.retry_after == 0.0
+            assert stub.requests_seen == 2

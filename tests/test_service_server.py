@@ -34,11 +34,14 @@ _SRC = str(Path(repro.__file__).resolve().parents[1])
 class _ServerThread:
     """A live daemon on a background thread, port picked by the OS."""
 
-    def __init__(self, **engine_kw):
+    def __init__(self, server_kw=None, **engine_kw):
         engine_kw.setdefault("jobs", 1)
+        server_kw = dict(server_kw or {})
+        server_kw.setdefault("host", "127.0.0.1")
+        server_kw.setdefault("port", 0)
+        server_kw.setdefault("drain_seconds", 10.0)
         self.server = PartitionServer(ServiceEngine(**engine_kw),
-                                      host="127.0.0.1", port=0,
-                                      drain_seconds=10.0)
+                                      **server_kw)
         self._ready = threading.Event()
         self._loop = None
         self._thread = threading.Thread(target=self._run, daemon=True)
