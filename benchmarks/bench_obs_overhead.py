@@ -10,13 +10,24 @@ circuits in three configurations:
   ``REPRO_BENCH_OBS_BASELINE`` to a JSON file of
   ``{circuit: {"seconds": s, "cut": c}}`` to re-pin it on new hardware.
 * ``disabled``  — instrumentation shipped but dormant (the no-op
-  singletons), the configuration every ordinary run pays for.
+  singletons, memory profiling off, no sampler thread), the
+  configuration every ordinary run pays for.
 * ``enabled``   — full tracing to a file plus metrics collection.
+* ``profiled``  — everything on at once: tracing, metrics, the
+  sampling wall profiler, and tracemalloc peak-memory capture — the
+  ``repro serve --profile-dir`` configuration.  This cell is
+  dominated by tracemalloc (which hooks every allocation, a
+  documented ~10–30× slowdown on allocation-heavy code); the
+  sampling profiler itself costs one stack walk per tick.  That
+  asymmetry is *why* peak-memory capture rides the explicit
+  ``--profile-dir`` opt-in rather than defaulting on.
 
 Asserted contracts: the *disabled* aggregate runtime stays within 3%
 of the pinned baseline (plus a small absolute epsilon so timer noise
-on sub-100ms circuits cannot flake CI), and the cuts are identical in
-all three configurations — observability never perturbs results.
+on sub-100ms circuits cannot flake CI), the profiler switches are
+verifiably dormant in the disabled configuration, and the cuts are
+identical in every configuration — observability never perturbs
+results.
 
 Every cell is best-of-``REPEATS`` wall clock, and the disabled /
 enabled variants are **interleaved**: each repeat times every variant
@@ -43,7 +54,9 @@ from pathlib import Path
 
 from repro import MLConfig, ml_bipartition
 from repro.hypergraph import load_circuit
-from repro.obs import collecting_metrics, tracing
+from repro.obs import (SamplingProfiler, collecting_metrics,
+                       enable_memory_profiling, memory_peak,
+                       memory_profiling_enabled, tracing)
 
 SCALE = 0.05
 SEED = 7
@@ -125,19 +138,43 @@ def run_bench():
 
         with tempfile.TemporaryDirectory() as tmp:
             trace_path = os.path.join(tmp, f"{name}.trace.jsonl")
+            prof_trace_path = os.path.join(tmp, f"{name}.prof.jsonl")
+
+            def dormant():
+                # The disabled cell is also the dormancy check for the
+                # profiling layer: the switches must read off.
+                assert not memory_profiling_enabled()
+                return mlc()
 
             def traced():
                 with tracing(trace_path), collecting_metrics():
                     return mlc()
 
-            timed = _time_interleaved([("disabled", mlc),
-                                       ("enabled", traced)])
+            def profiled():
+                profiler = SamplingProfiler(interval_seconds=0.005)
+                enable_memory_profiling(True)
+                profiler.start()
+                try:
+                    with tracing(prof_trace_path), collecting_metrics():
+                        with memory_peak() as peak:
+                            value = mlc()
+                finally:
+                    profiler.stop()
+                    enable_memory_profiling(False)
+                assert peak.peak_bytes and peak.peak_bytes > 0
+                return value
+
+            timed = _time_interleaved([("disabled", dormant),
+                                       ("enabled", traced),
+                                       ("profiled", profiled)])
             t_off, v_off = timed["disabled"]
             t_on, v_on = timed["enabled"]
+            t_prof, v_prof = timed["profiled"]
             from repro.obs import read_trace
             events = list(read_trace(trace_path))
 
         assert v_on == v_off, f"tracing changed the result on {name}"
+        assert v_prof == v_off, f"profiling changed the result on {name}"
         base = baseline.get(name)
         row = {
             "circuit": name,
@@ -146,8 +183,11 @@ def run_bench():
             "baseline_s": base["seconds"] if base else None,
             "disabled_s": round(t_off, 6),
             "enabled_s": round(t_on, 6),
+            "profiled_s": round(t_prof, 6),
             "enabled_overhead_pct":
                 round(100.0 * (t_on - t_off) / t_off, 2),
+            "profiled_overhead_pct":
+                round(100.0 * (t_prof - t_off) / t_off, 2),
             "trace_events": len(events),
         }
         if base:
@@ -187,14 +227,17 @@ def print_report(report):
     print(f"\nobservability overhead (MLc, scale={report['meta']['scale']}, "
           f"best of {report['meta']['repeats']})")
     print(f"{'circuit':>10} {'baseline':>9} {'disabled':>9} "
-          f"{'enabled':>9} {'off %':>7} {'on %':>7} {'events':>7}")
+          f"{'enabled':>9} {'profiled':>9} {'off %':>7} {'on %':>7} "
+          f"{'prof %':>7} {'events':>7}")
     for r in report["results"]:
         base = f"{r['baseline_s']:9.4f}" if r["baseline_s"] else "      n/a"
         offp = (f"{r['disabled_overhead_pct']:+7.1f}"
                 if "disabled_overhead_pct" in r else "    n/a")
         print(f"{r['circuit']:>10} {base} {r['disabled_s']:9.4f} "
-              f"{r['enabled_s']:9.4f} {offp} "
-              f"{r['enabled_overhead_pct']:+7.1f} {r['trace_events']:7d}")
+              f"{r['enabled_s']:9.4f} {r['profiled_s']:9.4f} {offp} "
+              f"{r['enabled_overhead_pct']:+7.1f} "
+              f"{r['profiled_overhead_pct']:+7.1f} "
+              f"{r['trace_events']:7d}")
     s = report["summary"]
     if s["disabled_overhead_pct"] is not None:
         print(f"disabled total {s['disabled_total_s']:.4f}s vs baseline "

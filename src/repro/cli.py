@@ -269,7 +269,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_summary(args: argparse.Namespace) -> int:
-    from .obs import summarize_trace
+    from .obs import summarize_service_trace, summarize_trace
+    # Service traces (repro serve --trace) regroup into one span tree
+    # per request; everything else gets the flat phase table.
+    service = summarize_service_trace(args.trace)
+    if service.is_service_trace:
+        print(service.render())
+        print()
     print(summarize_trace(args.trace).render())
     return 0
 
@@ -347,13 +353,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                              max_connections=args.max_connections,
                              read_timeout=args.read_timeout,
                              job_ttl=args.job_ttl,
-                             max_jobs=args.max_jobs)
+                             max_jobs=args.max_jobs,
+                             trace_path=args.trace,
+                             access_log_path=args.access_log,
+                             profile_dir=args.profile_dir,
+                             profile_interval=args.profile_interval)
     try:
         asyncio.run(server.run())
     except KeyboardInterrupt:
         # Signal handlers already drained; a second Ctrl-C lands here.
         pass
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs.console import run_top
+    from .service import ServiceClient
+    host, port = _parse_server(args.server)
+    color = sys.stdout.isatty() and not args.no_color
+    with ServiceClient(host, port, timeout=args.timeout,
+                       retries=0) as client:
+        return run_top(client, interval=args.interval, once=args.once,
+                       color=color)
 
 
 def _parse_server(spec: str) -> tuple:
@@ -380,6 +401,10 @@ def _cmd_client(args: argparse.Namespace) -> int:
             print(_json.dumps(client.version(), indent=2))
         elif args.action == "metrics":
             print(client.metrics(), end="")
+        elif args.action == "status":
+            print(_json.dumps(client.status(), indent=2))
+        elif args.action == "profile":
+            print(client.profile(), end="")
         else:  # partition
             if not args.file:
                 raise ReproError("client partition needs a netlist FILE")
@@ -392,7 +417,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
             }
             if args.deadline_ms is not None:
                 request["deadline_ms"] = args.deadline_ms
-            print(_json.dumps(client.partition(request), indent=2))
+            print(_json.dumps(client.partition(
+                request, trace_id=args.trace_id), indent=2))
     return 0
 
 
@@ -633,14 +659,51 @@ def build_parser() -> argparse.ArgumentParser:
                        help="arm a deterministic FaultPlan on every "
                             "served portfolio (chaos testing; same "
                             "SPEC as 'repro partition --inject-faults')")
+    p_srv.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a daemon-lifetime trace of every "
+                            "request and execution to FILE (Chrome "
+                            "trace-event JSONL; spans carry "
+                            "request/trace IDs, so 'repro "
+                            "trace-summary' regroups them per request)")
+    p_srv.add_argument("--access-log", default=None, metavar="FILE",
+                       help="append one JSONL record per request "
+                            "(request_id, route, status, latency_ms, "
+                            "cache/coalesce/degraded flags)")
+    p_srv.add_argument("--profile-dir", default=None, metavar="DIR",
+                       help="enable continuous profiling: sampled wall "
+                            "stacks served at GET /profile and written "
+                            "to DIR/profile.collapsed on shutdown, "
+                            "plus per-portfolio tracemalloc peaks in "
+                            "the ledger")
+    p_srv.add_argument("--profile-interval", type=float, default=0.01,
+                       metavar="SEC",
+                       help="wall-profiler sampling interval "
+                            "(default 0.01)")
     p_srv.set_defaults(fn=_cmd_serve)
+
+    p_top = sub.add_parser(
+        "top", parents=[common],
+        help="live ops console for a running daemon (polls /status)")
+    p_top.add_argument("--server", default="127.0.0.1",
+                       metavar="HOST[:PORT]",
+                       help=f"daemon address (default "
+                            f"127.0.0.1:{_DEFAULT_PORT})")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       metavar="SEC",
+                       help="refresh interval (default 2)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one frame and exit (scriptable)")
+    p_top.add_argument("--timeout", type=float, default=10.0)
+    p_top.add_argument("--no-color", action="store_true",
+                       help="plain text even on a TTY")
+    p_top.set_defaults(fn=_cmd_top)
 
     p_cli = sub.add_parser(
         "client", parents=[common],
         help="talk to a running 'repro serve' daemon")
     p_cli.add_argument("action",
                        choices=["health", "version", "metrics",
-                                "partition"])
+                                "status", "profile", "partition"])
     p_cli.add_argument("file", nargs="?", default=None,
                        help="netlist (.hgr/.json) for 'partition' "
                             "(sent inline)")
@@ -656,6 +719,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="MS",
                        help="per-request deadline forwarded to the "
                             "daemon (default: the server's)")
+    p_cli.add_argument("--trace-id", default=None, metavar="ID",
+                       help="correlation ID sent as X-Trace-Id; the "
+                            "daemon stamps it into every span the "
+                            "request produces and its ledger entry")
     p_cli.add_argument("--algorithm", choices=ALGORITHMS, default="mlc")
     p_cli.add_argument("-k", type=int, default=2)
     p_cli.add_argument("--runs", type=int, default=1)

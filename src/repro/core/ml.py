@@ -12,13 +12,14 @@ more opportunities (Section III).
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..clustering import Clustering, induce, match
 from ..errors import ClusteringError
 from ..hypergraph import Hypergraph
-from ..obs import tracer
+from ..obs import metrics, tracer
 from ..partition import Partition, cut
 from ..rng import SeedLike, make_rng, spawn
 from ..fm.clip import clip_bipartition  # noqa: F401  (re-export convenience)
@@ -88,7 +89,9 @@ def build_hierarchy(hg: Hypergraph, config: Optional[MLConfig] = None,
     base = rng if rng is not None else make_rng(seed)
     rng = spawn(base)
     tr = tracer()
+    mx = metrics()
     t_all = tr.begin() if tr.enabled else 0
+    m_phase = time.perf_counter() if mx.enabled else 0.0
     netlists = [hg]
     clusterings: List[Clustering] = []
     while (netlists[-1].num_modules > config.coarsening_threshold
@@ -118,6 +121,11 @@ def build_hierarchy(hg: Hypergraph, config: Optional[MLConfig] = None,
             "coarsest_modules": netlists[-1].num_modules,
             "target_ratio": config.matching_ratio,
         })
+    if mx.enabled:
+        mx.histogram("repro_ml_phase_seconds",
+                     "Wall time of the multilevel phases, by phase.",
+                     phase="coarsen"
+                     ).observe(time.perf_counter() - m_phase)
     return Hierarchy(netlists=netlists, clusterings=clusterings)
 
 
@@ -146,6 +154,7 @@ def ml_bipartition(hg: Hypergraph,
         raise ClusteringError("cannot bipartition fewer than two modules")
     fm_config = config.engine_config()
     tr = tracer()
+    mx = metrics()
     t_run = tr.begin() if tr.enabled else 0
 
     if hierarchy is None:
@@ -161,6 +170,7 @@ def ml_bipartition(hg: Hypergraph,
     # Step 6: initial partitioning of the coarsest netlist — optionally
     # several independent starts, keeping the best (Section V).
     t_phase = tr.begin() if tr.enabled else 0
+    m_phase = time.perf_counter() if mx.enabled else 0.0
     result = fm_bipartition(hierarchy.coarsest, initial=None,
                             config=fm_config, rng=rng)
     total_passes = result.passes
@@ -176,9 +186,15 @@ def ml_bipartition(hg: Hypergraph,
             "modules": hierarchy.coarsest.num_modules,
             "starts": config.coarsest_starts, "cut": result.cut,
         })
+    if mx.enabled:
+        mx.histogram("repro_ml_phase_seconds",
+                     "Wall time of the multilevel phases, by phase.",
+                     phase="initial"
+                     ).observe(time.perf_counter() - m_phase)
 
     # Steps 7-9: project and refine, coarsest-to-finest.
     solution = result.partition
+    m_phase = time.perf_counter() if mx.enabled else 0.0
     for i in range(hierarchy.levels - 1, -1, -1):
         t_phase = tr.begin() if tr.enabled else 0
         projected = project(solution, hierarchy.clusterings[i])
@@ -193,6 +209,12 @@ def ml_bipartition(hg: Hypergraph,
                 "modules": hierarchy.netlists[i].num_modules,
                 "cut": result.cut, "passes": result.passes,
             })
+
+    if mx.enabled:
+        mx.histogram("repro_ml_phase_seconds",
+                     "Wall time of the multilevel phases, by phase.",
+                     phase="refine"
+                     ).observe(time.perf_counter() - m_phase)
 
     final_cut = cut(hg, solution)
     if tr.enabled:

@@ -32,13 +32,19 @@ the telemetry a memory across runs:
 
 from .log import configure_logging, get_logger
 from .metrics import (MetricsRegistry, NoopMetrics, collecting_metrics,
-                      metrics, set_metrics, write_prometheus)
-from .summary import TraceSummary, summarize_trace
+                      lint_prometheus, metrics, set_metrics,
+                      write_prometheus)
+from .profile import (SamplingProfiler, enable_memory_profiling,
+                      memory_peak, memory_profiling_enabled)
+from .summary import (ServiceTraceSummary, TraceSummary,
+                      summarize_service_trace, summarize_trace)
+from .console import render_status, run_top
 from .trace import (BufferTracer, JsonlTraceWriter, NoopTracer, Tracer,
-                    read_trace, set_tracer, tracer, tracing)
+                    read_trace, set_tracer, set_trace_context,
+                    trace_context, trace_scope, tracer, tracing)
 from .ledger import (LEDGER_ENV, LEDGER_VERSION, append_entry, git_sha,
-                     ledger_enabled, ledger_path, read_ledger,
-                     record_result, stable_view)
+                     ledger_enabled, ledger_path, read_jsonl_objects,
+                     read_ledger, record_result, stable_view)
 from .compare import (Comparison, bootstrap_delta_ci, compare_sample_sets,
                       compare_samples, load_samples, sign_test)
 from .convergence import (ConvergenceReport, convergence_from_events,
@@ -48,13 +54,18 @@ from .report import build_report
 __all__ = [
     "tracer", "set_tracer", "tracing", "Tracer", "NoopTracer",
     "BufferTracer", "JsonlTraceWriter", "read_trace",
+    "trace_context", "set_trace_context", "trace_scope",
     "metrics", "set_metrics", "collecting_metrics", "MetricsRegistry",
-    "NoopMetrics", "write_prometheus",
+    "NoopMetrics", "write_prometheus", "lint_prometheus",
+    "SamplingProfiler", "memory_peak", "enable_memory_profiling",
+    "memory_profiling_enabled",
     "get_logger", "configure_logging",
     "summarize_trace", "TraceSummary",
+    "summarize_service_trace", "ServiceTraceSummary",
+    "render_status", "run_top",
     "LEDGER_ENV", "LEDGER_VERSION", "ledger_path", "ledger_enabled",
-    "append_entry", "read_ledger", "record_result", "stable_view",
-    "git_sha",
+    "append_entry", "read_ledger", "read_jsonl_objects", "record_result",
+    "stable_view", "git_sha",
     "Comparison", "sign_test", "bootstrap_delta_ci", "compare_samples",
     "compare_sample_sets", "load_samples",
     "ConvergenceReport", "convergence_from_events", "convergence_report",

@@ -1,0 +1,202 @@
+"""The live ops console behind ``repro top``.
+
+One JSON poll of ``GET /status`` per refresh — the endpoint was shaped
+so the dashboard needs nothing else (lane depth, breaker state, cache
+hit rates, the in-flight request table with ages and trace IDs, and
+latency histogram summaries all arrive in one body).  Rendering is a
+pure function (:func:`render_status`) over that body, so tests feed it
+recorded snapshots; :func:`run_top` owns the terminal loop (plain ANSI
+clear-and-redraw, no curses dependency).
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["render_status", "run_top", "format_duration",
+           "format_latency"]
+
+_CLEAR = "\x1b[H\x1b[2J"
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_GREEN = "\x1b[32m"
+_YELLOW = "\x1b[33m"
+_RED = "\x1b[31m"
+_RESET = "\x1b[0m"
+
+
+def _paint(text: str, code: str, color: bool) -> str:
+    return f"{code}{text}{_RESET}" if color else text
+
+
+def format_duration(seconds: Optional[float]) -> str:
+    """``93784.2`` → ``"1d2h3m"`` — coarse, for uptimes and ages."""
+    if seconds is None:
+        return "-"
+    seconds = max(0.0, float(seconds))
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    hours, minutes = divmod(minutes, 60)
+    days, hours = divmod(hours, 24)
+    if days:
+        return f"{days}d{hours}h{minutes}m"
+    if hours:
+        return f"{hours}h{minutes}m"
+    return f"{minutes}m{secs}s"
+
+
+def format_latency(seconds: Optional[float]) -> str:
+    """A latency quantile at a sensible unit (µs/ms/s)."""
+    if seconds is None or (isinstance(seconds, float)
+                           and math.isnan(seconds)):
+        return "-"
+    if seconds < 0.001:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.2f}s"
+
+
+def _hit_rate(stats: Dict[str, object]) -> str:
+    hits = int(stats.get("hits", 0) or 0)
+    misses = int(stats.get("misses", 0) or 0)
+    total = hits + misses
+    if total == 0:
+        return "-"
+    return f"{100.0 * hits / total:.1f}%"
+
+
+def _latency_rows(rows: List[Dict[str, object]], title: str,
+                  label_key: Optional[str]) -> List[str]:
+    out = []
+    for row in rows:
+        labels = row.get("labels") or {}
+        name = labels.get(label_key, "") if label_key else ""
+        out.append(
+            f"  {title if not name else name:<22} "
+            f"{int(row.get('count', 0) or 0):>8} "
+            f"{format_latency(row.get('p50')):>10} "
+            f"{format_latency(row.get('p90')):>10} "
+            f"{format_latency(row.get('p99')):>10}")
+    return out
+
+
+def render_status(status: Dict[str, object], server: str = "",
+                  color: bool = True) -> str:
+    """One dashboard frame from a ``/status`` body.
+
+    Tolerant of missing sections (an old daemon, a degraded scrape):
+    absent blocks render as ``-`` rather than raising, so the console
+    never dies mid-incident — the one time it is actually needed.
+    """
+    lane = status.get("lane") or {}
+    breaker = status.get("breaker") or {}
+    counters = status.get("counters") or {}
+    state = str(status.get("status", "?"))
+    state_color = _GREEN if state == "ok" else _YELLOW
+    lines: List[str] = []
+    lines.append(
+        _paint(f"repro top — {server or 'partition service'}", _BOLD,
+               color)
+        + "   " + _paint(state, state_color, color)
+        + _paint(f"   up {format_duration(status.get('uptime_seconds'))}",
+                 _DIM, color))
+
+    requests = int(counters.get("requests", 0) or 0)
+    cache = status.get("result_cache") or {}
+    lines.append(
+        f"requests: {requests}"
+        f"   cache hit: {_hit_rate(cache)}"
+        f"   coalesced: {counters.get('coalesced', 0)}"
+        f"   degraded: {counters.get('degraded_served', 0)}"
+        f"   errors: {counters.get('errors', 0)}")
+
+    open_keys = int(breaker.get("open_keys", 0) or 0)
+    breaker_text = "closed" if open_keys == 0 else f"{open_keys} open"
+    breaker_color = _GREEN if open_keys == 0 else _RED
+    lines.append(
+        f"lane: {lane.get('queued', '-')}/{lane.get('max_queued', '-')}"
+        f" queued" + (" busy" if lane.get("busy") else "")
+        + f"   shed: {lane.get('shed', 0)}"
+        + f"   expired: {lane.get('expired', 0)}"
+        + "   breaker: " + _paint(breaker_text, breaker_color, color)
+        + f" (trips {breaker.get('trips', 0)})"
+        + f"   connections: {status.get('connections', '-')}"
+        + f"   jobs: {status.get('jobs_live', '-')}")
+
+    latency = status.get("latency") or {}
+    header = (f"  {'latency':<22} {'count':>8} {'p50':>10} {'p90':>10} "
+              f"{'p99':>10}")
+    lines.append("")
+    lines.append(_paint(header, _DIM, color))
+    body: List[str] = []
+    body += _latency_rows(latency.get("latency") or [],
+                          "request", "endpoint")
+    body += _latency_rows(latency.get("queue_wait") or [],
+                          "queue wait", None)
+    body += _latency_rows(latency.get("execution") or [],
+                          "execution", None)
+    lines += body or [_paint("  (no samples yet)", _DIM, color)]
+
+    in_flight = status.get("in_flight") or []
+    lines.append("")
+    lines.append(_paint(
+        f"  {'in-flight':<14} {'state':<10} {'age':>8} "
+        f"{'deadline':>9}  trace", _DIM, color))
+    if in_flight:
+        for row in in_flight:
+            lines.append(
+                f"  {str(row.get('id', '-')):<14} "
+                f"{str(row.get('state', '-')):<10} "
+                f"{format_duration(row.get('age_seconds')):>8} "
+                f"{format_duration(row.get('deadline_in_seconds')):>9}"
+                f"  {row.get('trace_id') or '-'}")
+    else:
+        lines.append(_paint("  (idle)", _DIM, color))
+
+    profiler = status.get("profiler") or {}
+    if profiler.get("enabled"):
+        lines.append("")
+        lines.append(_paint(
+            f"profiler: {profiler.get('samples', 0)} samples, "
+            f"{profiler.get('unique_stacks', 0)} stacks "
+            f"(GET /profile for the flamegraph)", _DIM, color))
+    return "\n".join(lines) + "\n"
+
+
+def run_top(client, interval: float = 2.0, once: bool = False,
+            color: bool = True, out=None) -> int:
+    """Poll ``client.status()`` and redraw until interrupted.
+
+    ``once`` renders a single frame without clearing the screen (the
+    testable/scriptable mode; also what the README capture shows).
+    Returns a process exit code.
+    """
+    out = out if out is not None else sys.stdout
+    server = f"http://{client.host}:{client.port}"
+    while True:
+        try:
+            frame = render_status(client.status(), server=server,
+                                  color=color)
+        except KeyboardInterrupt:
+            return 0
+        except Exception as exc:
+            frame = (_paint(f"repro top — {server}", _BOLD, color)
+                     + "   " + _paint("unreachable", _RED, color)
+                     + f"\n{exc}\n")
+            if once:
+                out.write(frame)
+                return 1
+        if once:
+            out.write(frame)
+            return 0
+        out.write(_CLEAR + frame)
+        out.flush()
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0

@@ -63,8 +63,8 @@ _log = get_logger("obs.ledger")
 
 __all__ = ["LEDGER_ENV", "LEDGER_VERSION", "DEFAULT_LEDGER_PATH",
            "VOLATILE_FIELDS", "ledger_path", "ledger_enabled",
-           "append_entry", "read_ledger", "record_result", "stable_view",
-           "git_sha"]
+           "append_entry", "read_ledger", "read_jsonl_objects",
+           "record_result", "stable_view", "git_sha"]
 
 #: Environment variable controlling the ledger (path, or an off value).
 LEDGER_ENV = "REPRO_LEDGER"
@@ -83,7 +83,8 @@ _OFF_VALUES = ("off", "0", "none", "false", "")
 #: byte-stability contract can be asserted and so the comparator never
 #: keys on noise.
 VOLATILE_FIELDS = frozenset(
-    {"ts", "wall_seconds", "cpu_seconds", "run_wall", "run_cpu", "phases"})
+    {"ts", "wall_seconds", "cpu_seconds", "run_wall", "run_cpu", "phases",
+     "trace_id", "peak_mem_bytes"})
 
 
 def ledger_path() -> Optional[Path]:
@@ -209,6 +210,14 @@ def build_entry(result, portfolio, jobs: int = 1,
         "run_wall": [round(r.wall_seconds, 6) for r in result.records],
         "run_cpu": [round(r.cpu_seconds, 6) for r in result.records],
     }
+    trace_id = getattr(portfolio, "trace_id", None)
+    if trace_id is not None:
+        # Request correlation: the same ID the serving path echoes in
+        # the response and stamps into every span of the merged trace.
+        entry["trace_id"] = trace_id
+    peak = getattr(result, "peak_mem_bytes", None)
+    if peak is not None:
+        entry["peak_mem_bytes"] = peak
     if trace_path:
         phases = _phase_rollup(trace_path)
         if phases is not None:
@@ -256,13 +265,15 @@ def record_result(result, portfolio, jobs: int = 1,
         return None
 
 
-def read_ledger(path: Union[str, Path]) -> Iterator[Dict[str, object]]:
-    """Yield entries from a ledger file, oldest first.
+def read_jsonl_objects(path: Union[str, Path], kind: str = "jsonl"
+                       ) -> Iterator[Dict[str, object]]:
+    """Tolerantly yield JSON objects from an append-only JSONL file.
 
-    Corrupt or truncated lines (interrupted writers, concurrent
-    appends across filesystems) are skipped with a warning; entries
-    from a *newer* schema than this reader understands are skipped the
-    same way instead of being misinterpreted.
+    The shared reading discipline for every append-only stream this
+    package writes (the run ledger, the service's access log): corrupt
+    or truncated lines — including a final line cut short by a killed
+    writer — and non-object lines are skipped with a warning instead of
+    poisoning every future read.  ``kind`` labels the warnings.
     """
     path = Path(path)
     if not path.exists():
@@ -275,19 +286,32 @@ def read_ledger(path: Union[str, Path]) -> Iterator[Dict[str, object]]:
             try:
                 entry = json.loads(line)
             except json.JSONDecodeError:
-                _log.warning("%s: skipping corrupt ledger line %d",
-                             path, lineno)
+                _log.warning("%s: skipping corrupt %s line %d",
+                             path, kind, lineno)
                 continue
             if not isinstance(entry, dict):
-                _log.warning("%s: skipping non-object ledger line %d",
-                             path, lineno)
-                continue
-            schema = entry.get("schema")
-            if not isinstance(schema, int) or schema > LEDGER_VERSION:
-                _log.warning("%s: skipping ledger line %d with "
-                             "unsupported schema %r", path, lineno, schema)
+                _log.warning("%s: skipping non-object %s line %d",
+                             path, kind, lineno)
                 continue
             yield entry
+
+
+def read_ledger(path: Union[str, Path]) -> Iterator[Dict[str, object]]:
+    """Yield entries from a ledger file, oldest first.
+
+    Corrupt or truncated lines (interrupted writers, concurrent
+    appends across filesystems) are skipped with a warning; entries
+    from a *newer* schema than this reader understands are skipped the
+    same way instead of being misinterpreted.
+    """
+    path = Path(path)
+    for entry in read_jsonl_objects(path, kind="ledger"):
+        schema = entry.get("schema")
+        if not isinstance(schema, int) or schema > LEDGER_VERSION:
+            _log.warning("%s: skipping ledger entry with unsupported "
+                         "schema %r", path, schema)
+            continue
+        yield entry
 
 
 def stable_view(entry: Dict[str, object]) -> Dict[str, object]:

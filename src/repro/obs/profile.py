@@ -1,0 +1,200 @@
+"""Continuous profiling: sampling wall profiler + peak-memory capture.
+
+Third leg of the observability stack next to :mod:`repro.obs.trace`
+(spans) and :mod:`repro.obs.metrics` (aggregates), with the same
+activation contract: everything here is opt-in and costs nothing when
+off.  Two independent collectors:
+
+1. :class:`SamplingProfiler` — a daemon thread that wakes every
+   ``interval_seconds``, walks ``sys._current_frames()`` for every
+   other thread, and aggregates the stacks into collapsed-stack form
+   (``frame;frame;frame count`` — the flamegraph.pl / speedscope input
+   format).  Sampling cost is proportional to stack depth times thread
+   count per tick, independent of request rate, which is what makes it
+   safe to leave running on a serving daemon (``repro serve
+   --profile-dir``); the data comes back over ``GET /profile``.
+2. :func:`memory_peak` — a context manager capturing the
+   ``tracemalloc`` peak over a block.  The runtime wraps each portfolio
+   start in one (see :mod:`repro.runtime.executor`); the module-level
+   switch is inherited through fork, so worker processes capture their
+   own peaks and ship them back on the run record.
+
+Neither collector starts a thread, touches tracemalloc, or allocates
+beyond a handful of attribute reads unless explicitly enabled — the
+zero-overhead-when-disabled contract is enforced alongside tracing and
+metrics in ``benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+import tracemalloc
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SamplingProfiler", "memory_peak",
+           "enable_memory_profiling", "memory_profiling_enabled"]
+
+#: Cap on recorded stack depth; deeper frames are summarised as one
+#: truncation marker so a runaway recursion cannot bloat the table.
+MAX_STACK_DEPTH = 64
+
+
+def _frame_label(code) -> str:
+    """``file.py:qualname`` with collapsed-format metacharacters
+    (semicolon separates frames, space separates the count) replaced."""
+    name = f"{os.path.basename(code.co_filename)}:{code.co_qualname}"
+    return name.replace(";", ",").replace(" ", "_")
+
+
+class SamplingProfiler:
+    """Wall-clock sampling profiler over ``sys._current_frames()``.
+
+    Thread-based rather than signal-based: ``SIGPROF`` only interrupts
+    the main thread, but the daemon does its real work on the asyncio
+    event loop and the execution lane's worker thread, and a sampler
+    thread sees both.  The trade-off is wall-clock attribution (a
+    blocked thread keeps accumulating samples) — which is exactly what
+    a latency investigation wants.
+    """
+
+    def __init__(self, interval_seconds: float = 0.01):
+        if interval_seconds <= 0:
+            raise ValueError(
+                f"interval_seconds must be > 0, got {interval_seconds}")
+        self.interval_seconds = interval_seconds
+        self.samples = 0
+        self.started_at: Optional[float] = None
+        self._counts: Dict[Tuple[str, ...], int] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.started_at = time.time()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            self.sample_once()
+
+    # -- collection ----------------------------------------------------
+
+    def sample_once(self) -> None:
+        """Take one sample of every thread except the sampler itself."""
+        own = threading.get_ident()
+        for ident, frame in sys._current_frames().items():
+            if ident == own:
+                continue
+            stack: List[str] = []
+            depth = 0
+            while frame is not None:
+                if depth >= MAX_STACK_DEPTH:
+                    stack.append("[truncated]")
+                    break
+                stack.append(_frame_label(frame.f_code))
+                frame = frame.f_back
+                depth += 1
+            key = tuple(reversed(stack))
+            with self._lock:
+                self._counts[key] = self._counts.get(key, 0) + 1
+                self.samples += 1
+
+    # -- output --------------------------------------------------------
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text: one ``frame;frame count`` line per
+        unique stack, heaviest first — feed to flamegraph.pl or paste
+        into speedscope."""
+        with self._lock:
+            items = sorted(self._counts.items(),
+                           key=lambda kv: (-kv[1], kv[0]))
+        return "".join(f"{';'.join(stack)} {count}\n"
+                       for stack, count in items)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            stacks = len(self._counts)
+        return {"running": self.running, "samples": self.samples,
+                "unique_stacks": stacks,
+                "interval_seconds": self.interval_seconds,
+                "started_at": self.started_at}
+
+    def write(self, path) -> None:
+        """Write the collapsed profile to ``path`` (parents created)."""
+        parent = os.path.dirname(str(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.collapsed())
+
+
+# -- peak-memory capture -----------------------------------------------
+
+_MEMORY_PROFILING = False
+
+
+def enable_memory_profiling(on: bool = True) -> None:
+    """Switch per-portfolio-start peak-memory capture on or off.
+
+    A plain module global on purpose: the fork-based pool inherits it,
+    so turning it on in the daemon makes every worker capture its own
+    peak with no per-task plumbing.
+    """
+    global _MEMORY_PROFILING
+    _MEMORY_PROFILING = on
+
+
+def memory_profiling_enabled() -> bool:
+    return _MEMORY_PROFILING
+
+
+class memory_peak:
+    """Context manager: ``tracemalloc`` peak allocation over the block.
+
+    ``peak_bytes`` is ``None`` unless memory profiling is enabled — a
+    disabled instance is two attribute reads, no tracemalloc calls.
+    If tracemalloc was already tracing (an outer capture or the user's
+    own), the peak is reset for this block but tracing is left running.
+    """
+
+    __slots__ = ("peak_bytes", "_started_here")
+
+    def __init__(self) -> None:
+        self.peak_bytes: Optional[int] = None
+        self._started_here = False
+
+    def __enter__(self) -> "memory_peak":
+        if _MEMORY_PROFILING:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_here = True
+            tracemalloc.reset_peak()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if _MEMORY_PROFILING and tracemalloc.is_tracing():
+            self.peak_bytes = tracemalloc.get_traced_memory()[1]
+            if self._started_here:
+                tracemalloc.stop()
+        return False

@@ -15,7 +15,9 @@ from typing import Dict, List, Optional
 
 from .trace import read_trace
 
-__all__ = ["PhaseStats", "TraceSummary", "summarize_trace"]
+__all__ = ["PhaseStats", "TraceSummary", "summarize_trace",
+           "ServiceRequest", "ExecutionTree", "ServiceTraceSummary",
+           "summarize_service_trace"]
 
 
 @dataclass
@@ -85,6 +87,178 @@ class TraceSummary:
                 f"min cut {min(self.start_cuts)}, "
                 f"mean cut {mean(self.start_cuts):.1f}")
         return "\n".join(lines)
+
+
+# -- service traces ----------------------------------------------------
+#
+# A daemon-lifetime trace (``repro serve --trace``) interleaves many
+# requests; the flat phase table above still works, but the question an
+# operator asks is per-request: which requests rode which execution.
+# The regrouping below keys on the correlation args the service stamps:
+# every request gets a ``service.request`` root span carrying
+# ``request_id``/``trace_id``/``exec_id``; the lane's one
+# ``service.execute`` span carries ``exec_id`` + ``trace_id``; and
+# every span inside the execution — including worker-side ``fm.pass``
+# spans shipped across the fork — carries the leader's ``trace_id``.
+
+
+@dataclass
+class ServiceRequest:
+    """One ``service.request`` root span."""
+
+    request_id: str
+    trace_id: str
+    method: str = "?"
+    endpoint: str = "?"
+    status: int = 0
+    dur_us: int = 0
+    exec_id: Optional[str] = None
+    cached: bool = False
+    coalesced: bool = False
+    degraded: bool = False
+
+    @property
+    def flags(self) -> str:
+        parts = [name for name, on in (("cached", self.cached),
+                                       ("coalesced", self.coalesced),
+                                       ("degraded", self.degraded)) if on]
+        return f" [{', '.join(parts)}]" if parts else ""
+
+
+@dataclass
+class ExecutionTree:
+    """One ``service.execute`` span and everything that ran under it."""
+
+    exec_id: str
+    trace_id: Optional[str] = None
+    dur_us: int = 0
+    requests: List[ServiceRequest] = field(default_factory=list)
+    phases: Dict[str, PhaseStats] = field(default_factory=dict)
+
+    def fold(self, name: str, dur_us: int) -> None:
+        stats = self.phases.get(name)
+        if stats is None:
+            stats = self.phases[name] = PhaseStats(name)
+        stats.count += 1
+        stats.total_us += dur_us
+        stats.max_us = max(stats.max_us, dur_us)
+
+
+@dataclass
+class ServiceTraceSummary:
+    """A service trace regrouped into one span tree per request."""
+
+    requests: List[ServiceRequest] = field(default_factory=list)
+    executions: Dict[str, ExecutionTree] = field(default_factory=dict)
+
+    @property
+    def is_service_trace(self) -> bool:
+        return bool(self.requests)
+
+    def render(self) -> str:
+        if not self.requests:
+            return "no service.request spans in trace"
+        lines = [f"service trace: {len(self.requests)} request(s), "
+                 f"{len(self.executions)} execution(s)"]
+        claimed = set()
+        for exec_id in sorted(self.executions):
+            tree = self.executions[exec_id]
+            lines.append("")
+            lines.append(
+                f"execution {exec_id} — {tree.dur_us / 1e6:.3f}s, "
+                f"served {len(tree.requests)} request(s)")
+            for req in tree.requests:
+                claimed.add(id(req))
+                lines.append(
+                    f"  {req.request_id:<18} {req.method} "
+                    f"/{req.endpoint}  {req.status}  "
+                    f"{req.dur_us / 1e3:.1f}ms{req.flags}  "
+                    f"trace={req.trace_id}")
+            if tree.phases:
+                ordered = sorted(tree.phases.values(),
+                                 key=lambda p: p.total_us, reverse=True)
+                for p in ordered:
+                    lines.append(f"    {p.name:<22} {p.count:>5} "
+                                 f"{p.total_seconds:>9.3f}s "
+                                 f"mean {p.mean_ms:.3f}ms")
+        other = [r for r in self.requests if id(r) not in claimed]
+        if other:
+            lines.append("")
+            lines.append(f"requests without an execution "
+                         f"({len(other)} — cache hits before tracing, "
+                         f"scrapes, errors):")
+            for req in other:
+                lines.append(
+                    f"  {req.request_id:<18} {req.method} "
+                    f"/{req.endpoint}  {req.status}  "
+                    f"{req.dur_us / 1e3:.1f}ms{req.flags}")
+        return "\n".join(lines)
+
+
+def summarize_service_trace(path) -> ServiceTraceSummary:
+    """Regroup a (possibly merged, many-request) service trace into
+    per-request span trees.  Non-service traces yield an empty summary
+    (``is_service_trace`` false) — callers fall back to the flat
+    :func:`summarize_trace` table."""
+    summary = ServiceTraceSummary()
+    deferred: List[tuple] = []
+    trace_to_exec: Dict[str, str] = {}
+    for event in read_trace(path):
+        if not isinstance(event, dict) or event.get("ph") != "X":
+            continue
+        name = str(event.get("name", "?"))
+        args = event.get("args")
+        if not isinstance(args, dict):
+            args = {}
+        try:
+            dur = int(event.get("dur", 0))
+        except (TypeError, ValueError):
+            dur = 0
+        if name == "service.request":
+            summary.requests.append(ServiceRequest(
+                request_id=str(args.get("request_id", "?")),
+                trace_id=str(args.get("trace_id", "?")),
+                method=str(args.get("method", "?")),
+                endpoint=str(args.get("endpoint", "?")),
+                status=int(args.get("status", 0) or 0),
+                dur_us=dur,
+                exec_id=(str(args["exec_id"])
+                         if args.get("exec_id") is not None else None),
+                cached=bool(args.get("cached")),
+                coalesced=bool(args.get("coalesced")),
+                degraded=bool(args.get("degraded"))))
+        elif name == "service.execute":
+            exec_id = str(args.get("exec_id", "?"))
+            tree = summary.executions.setdefault(
+                exec_id, ExecutionTree(exec_id))
+            tree.dur_us = dur
+            trace_id = args.get("trace_id")
+            if trace_id is not None:
+                tree.trace_id = str(trace_id)
+                trace_to_exec[str(trace_id)] = exec_id
+        else:
+            # Might belong to an execution we have not seen yet (the
+            # service.execute span is emitted *after* its children).
+            deferred.append((name, dur, args.get("exec_id"),
+                             args.get("trace_id")))
+    for name, dur, exec_id, trace_id in deferred:
+        key = None
+        if exec_id is not None and str(exec_id) in summary.executions:
+            key = str(exec_id)
+        elif trace_id is not None:
+            key = trace_to_exec.get(str(trace_id))
+        if key is not None:
+            summary.executions[key].fold(name, dur)
+    for req in summary.requests:
+        tree = None
+        if req.exec_id is not None:
+            tree = summary.executions.get(req.exec_id)
+        if tree is None:
+            tree = summary.executions.get(
+                trace_to_exec.get(req.trace_id, ""))
+        if tree is not None:
+            tree.requests.append(req)
+    return summary
 
 
 def summarize_trace(path) -> TraceSummary:

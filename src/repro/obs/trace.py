@@ -40,9 +40,71 @@ import time
 from typing import Dict, Iterator, List, Optional, Union
 
 __all__ = ["Tracer", "NoopTracer", "BufferTracer", "JsonlTraceWriter",
-           "tracer", "set_tracer", "tracing", "read_trace", "Event"]
+           "tracer", "set_tracer", "tracing", "read_trace", "Event",
+           "trace_context", "set_trace_context", "trace_scope"]
 
 Event = Dict[str, object]
+
+
+# -- request-scoped trace context ---------------------------------------
+#
+# A small mapping of correlation IDs (request_id, trace_id, exec_id)
+# stamped into the args of every span and instant a thread emits while
+# a scope is installed — that is what lets a merged multi-process trace
+# be regrouped into one tree per request.  Storage is thread-local
+# because the service daemon emits from two threads concurrently (the
+# asyncio event loop writes request spans while the execution lane's
+# worker thread runs portfolios); a forked worker re-installs its
+# context explicitly from the Portfolio it executes (see
+# runtime.executor), so no fork-inheritance subtleties are involved.
+
+class _TraceContext(threading.local):
+    def __init__(self) -> None:
+        self.ids: Dict[str, str] = {}
+
+
+_CONTEXT = _TraceContext()
+
+
+def trace_context() -> Dict[str, str]:
+    """The calling thread's active correlation IDs (possibly empty)."""
+    return dict(_CONTEXT.ids)
+
+
+def set_trace_context(ids: Optional[Dict[str, str]]) -> Dict[str, str]:
+    """Replace the calling thread's context; returns the previous one."""
+    previous = _CONTEXT.ids
+    _CONTEXT.ids = {k: str(v) for k, v in (ids or {}).items()
+                    if v is not None}
+    return previous
+
+
+class trace_scope:
+    """Context manager: merge correlation IDs into the thread context.
+
+    Nested scopes accumulate (an execution scope inside a request scope
+    carries both IDs); ``None`` values are dropped so call sites can
+    pass optional IDs unconditionally.  The previous context is
+    restored on exit.
+    """
+
+    __slots__ = ("_ids", "_previous")
+
+    def __init__(self, **ids):
+        self._ids = ids
+        self._previous: Optional[Dict[str, str]] = None
+
+    def __enter__(self) -> Dict[str, str]:
+        merged = dict(_CONTEXT.ids)
+        merged.update((k, str(v)) for k, v in self._ids.items()
+                      if v is not None)
+        self._previous = _CONTEXT.ids
+        _CONTEXT.ids = merged
+        return merged
+
+    def __exit__(self, *exc) -> bool:
+        _CONTEXT.ids = self._previous or {}
+        return False
 
 
 def _now_us() -> int:
@@ -172,7 +234,9 @@ class Tracer:
             "dur": _now_us() - start_us,
             "pid": os.getpid(), "tid": threading.get_native_id(),
         }
-        a = dict(args) if args else {}
+        a = dict(_CONTEXT.ids)
+        if args:
+            a.update(args)
         a["depth"] = self._depth if depth is None else depth
         event["args"] = a
         self.emit(event)
@@ -183,8 +247,11 @@ class Tracer:
             "name": name, "ph": "i", "s": "p", "ts": _now_us(),
             "pid": os.getpid(), "tid": threading.get_native_id(),
         }
+        a = dict(_CONTEXT.ids)
         if args:
-            event["args"] = dict(args)
+            a.update(args)
+        if a:
+            event["args"] = a
         self.emit(event)
 
     def counter(self, name: str, values: Dict[str, float]) -> None:

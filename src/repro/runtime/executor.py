@@ -52,7 +52,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..errors import ConfigError, ReproError
 from ..faults import FaultInjector
 from ..obs import (BufferTracer, MetricsRegistry, get_logger, metrics,
-                   record_result, set_metrics, set_tracer, tracer, tracing)
+                   record_result, set_metrics, set_tracer, tracer,
+                   trace_scope, tracing)
+from ..obs.profile import memory_peak
 from .job import Job, Portfolio
 from .records import (PortfolioResult, RunRecord,
                       STATUS_FAILED, STATUS_OK, STATUS_TIMEOUT)
@@ -140,6 +142,12 @@ def _execute_start(portfolio: Portfolio, index: int, seed: int,
         registry = MetricsRegistry()
         parent_metrics = set_metrics(registry)
         mx = registry
+    # Request-scoped correlation: every event below (this function's
+    # spans and everything portfolio.fn emits) carries the portfolio's
+    # trace_id.  Entered by hand because the exits interleave with the
+    # singleton restores at the bottom.
+    scope = trace_scope(trace_id=portfolio.trace_id)
+    scope.__enter__()
     if attempt > 1:
         delay = portfolio.backoff_delay(index, attempt)
         if delay > 0.0:
@@ -151,6 +159,8 @@ def _execute_start(portfolio: Portfolio, index: int, seed: int,
     injector = (FaultInjector(portfolio.faults)
                 if portfolio.faults is not None else None)
     t_start = tr.begin() if tr.enabled else 0
+    mem = memory_peak()
+    mem.__enter__()
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
     try:
@@ -183,12 +193,17 @@ def _execute_start(portfolio: Portfolio, index: int, seed: int,
             error="".join(traceback.format_exception_only(exc)).strip())
     record.wall_seconds = time.perf_counter() - wall0
     record.cpu_seconds = time.process_time() - cpu0
+    mem.__exit__()
     record.worker = worker
     record.attempts = attempt
+    record.peak_mem_bytes = mem.peak_bytes
     if tr.enabled:
-        tr.end("portfolio.start", t_start, {
+        span_args = {
             "index": index, "seed": seed, "attempt": attempt,
-            "status": record.status, "cut": record.cut, "worker": worker})
+            "status": record.status, "cut": record.cut, "worker": worker}
+        if mem.peak_bytes is not None:
+            span_args["peak_mem_bytes"] = mem.peak_bytes
+        tr.end("portfolio.start", t_start, span_args)
     if mx.enabled:
         mx.counter("repro_portfolio_starts_total",
                    "Portfolio starts executed, by outcome.",
@@ -196,6 +211,11 @@ def _execute_start(portfolio: Portfolio, index: int, seed: int,
         mx.histogram("repro_portfolio_start_seconds",
                      "Wall time of individual portfolio starts."
                      ).observe(record.wall_seconds)
+        if mem.peak_bytes is not None:
+            mx.gauge("repro_portfolio_peak_mem_bytes",
+                     "Peak tracemalloc bytes of the most recently "
+                     "profiled start.").set(mem.peak_bytes)
+    scope.__exit__()
     if buffer is not None:
         set_tracer(parent_tracer)
         record.trace_events = buffer.drain()

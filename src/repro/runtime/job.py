@@ -107,6 +107,13 @@ class Portfolio:
     backoff_seconds: float = 0.0
     backoff_cap: float = 30.0
     trace: Union[None, bool, str] = None
+    #: Correlation ID for request-scoped tracing.  When set, every span
+    #: and instant this portfolio's execution emits — in the parent or
+    #: shipped back from forked workers — carries ``trace_id`` in its
+    #: args, and the ledger entry records it, so a merged service trace
+    #: can be regrouped into one tree per originating request.  Pure
+    #: metadata: never touches seeds, scheduling, or the fingerprint.
+    trace_id: Optional[str] = None
 
     def __post_init__(self):
         if self.runs < 1:
@@ -141,6 +148,10 @@ class Portfolio:
             raise ConfigError(
                 f"trace must be None, a bool, or a path string, "
                 f"got {type(self.trace).__name__}")
+        if self.trace_id is not None and not isinstance(self.trace_id, str):
+            raise ConfigError(
+                f"trace_id must be None or a string, "
+                f"got {type(self.trace_id).__name__}")
 
     @property
     def name(self) -> str:

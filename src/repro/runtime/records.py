@@ -99,6 +99,11 @@ class RunRecord:
     trace_events: Optional[List[Dict[str, object]]] = None
     #: Same transport for a worker's metrics-registry snapshot.
     metrics_snapshot: Optional[Dict[str, object]] = None
+    #: Peak tracemalloc bytes over this start, captured only when
+    #: memory profiling is enabled (``repro serve --profile-dir`` or
+    #: :func:`repro.obs.profile.enable_memory_profiling`).  Not part of
+    #: the checkpoint round-trip: telemetry, not an outcome.
+    peak_mem_bytes: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -223,6 +228,14 @@ class PortfolioResult:
     def cpu_seconds(self) -> float:
         """Total CPU time over all runs (summed across workers)."""
         return sum(r.cpu_seconds for r in self.records)
+
+    @property
+    def peak_mem_bytes(self) -> Optional[int]:
+        """Largest per-start tracemalloc peak, or ``None`` when memory
+        profiling was off for the whole portfolio."""
+        peaks = [r.peak_mem_bytes for r in self.records
+                 if r.peak_mem_bytes is not None]
+        return max(peaks) if peaks else None
 
     @property
     def best(self) -> RunRecord:

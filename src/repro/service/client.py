@@ -19,11 +19,13 @@ from __future__ import annotations
 
 import http.client
 import json
+import math
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ReproError
 from ..runtime import backoff_delay
+from .protocol import HEADER_REQUEST_ID, HEADER_TRACE_ID
 
 __all__ = ["ServiceClient", "ServiceError"]
 
@@ -100,9 +102,11 @@ class ServiceClient:
             return None
 
     def _request(self, method: str, path: str,
-                 body: Optional[dict] = None) -> http.client.HTTPResponse:
+                 body: Optional[dict] = None,
+                 headers: Optional[Dict[str, str]] = None
+                 ) -> http.client.HTTPResponse:
         payload = None
-        headers = {}
+        headers = dict(headers or {})
         if body is not None:
             payload = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -133,8 +137,9 @@ class ServiceClient:
         raise AssertionError("unreachable")
 
     def _json(self, method: str, path: str,
-              body: Optional[dict] = None) -> dict:
-        response = self._request(method, path, body)
+              body: Optional[dict] = None,
+              headers: Optional[Dict[str, str]] = None) -> dict:
+        response = self._request(method, path, body, headers=headers)
         raw = response.read()
         if response.status >= 400:
             try:
@@ -178,8 +183,76 @@ class ServiceClient:
             return float(line.rsplit(" ", 1)[1])
         return 0.0
 
-    def partition(self, request: dict) -> dict:
-        return self._json("POST", "/partition", request)
+    def histogram_quantile(self, name: str, q: float, **labels) -> float:
+        """PromQL-style ``histogram_quantile`` over one scraped series.
+
+        Reads the ``<name>_bucket`` samples matching ``labels`` from
+        ``/metrics`` and interpolates inside the owning bucket — the
+        same estimate the server's in-process
+        :meth:`~repro.obs.metrics.Histogram.quantile` computes, so a
+        client-side cross-check (bench_service.py) compares like with
+        like.  ``nan`` when the series is absent or empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        wanted = {f'{k}="{v}"' for k, v in labels.items()}
+        buckets: List[Tuple[float, float]] = []
+        prefix = f"{name}_bucket{{"
+        for line in self.metrics().splitlines():
+            if not line.startswith(prefix):
+                continue
+            label_part = line[len(prefix):line.index("}")]
+            parts = set(label_part.split(","))
+            if wanted and not wanted <= parts:
+                continue
+            le = next((p[4:-1] for p in parts if p.startswith('le="')),
+                      None)
+            if le is None:
+                continue
+            upper = math.inf if le == "+Inf" else float(le)
+            buckets.append((upper, float(line.rsplit(" ", 1)[1])))
+        buckets.sort()
+        if not buckets or buckets[-1][1] <= 0:
+            return math.nan
+        total = buckets[-1][1]
+        rank = q * total
+        cumulative = 0.0
+        lower = 0.0
+        for upper, cum_count in buckets:
+            count = cum_count - cumulative
+            if count > 0 and cum_count >= rank:
+                if math.isinf(upper):
+                    return lower
+                return lower + (upper - lower) * \
+                    (rank - cumulative) / count
+            cumulative = cum_count
+            if not math.isinf(upper):
+                lower = upper
+        return lower
+
+    def status(self) -> dict:
+        return self._json("GET", "/status")
+
+    def profile(self) -> str:
+        """The daemon's collapsed-stack wall profile (404 → error when
+        profiling is off)."""
+        response = self._request("GET", "/profile")
+        raw = response.read()
+        if response.status >= 400:
+            raise ServiceError(f"/profile: HTTP {response.status}",
+                               status=response.status)
+        return raw.decode("utf-8")
+
+    def partition(self, request: dict,
+                  request_id: Optional[str] = None,
+                  trace_id: Optional[str] = None) -> dict:
+        headers = {}
+        if request_id is not None:
+            headers[HEADER_REQUEST_ID] = request_id
+        if trace_id is not None:
+            headers[HEADER_TRACE_ID] = trace_id
+        return self._json("POST", "/partition", request,
+                          headers=headers or None)
 
     def sweep(self, requests: List[dict]) -> str:
         return self._json("POST", "/sweep",

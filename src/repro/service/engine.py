@@ -48,7 +48,8 @@ from pathlib import Path
 from statistics import median
 from typing import Callable, Dict, List, Optional
 
-from ..obs import get_logger, record_result
+from ..obs import get_logger, metrics, record_result, trace_scope, tracer
+from ..obs.metrics import SERVICE_BUCKETS
 from ..partition import BalanceConstraint
 from ..rng import child_seeds
 from ..runtime import (BatchPortfolio, Job, Portfolio, PortfolioResult,
@@ -102,6 +103,16 @@ class PendingRun:
     #: Absolute monotonic instant past which this request's answer is
     #: worthless; ``None`` means no deadline.
     deadline_at: Optional[float] = None
+    #: Correlation IDs from the originating HTTP request (client-
+    #: supplied or server-generated); ``None`` when the engine is used
+    #: without the HTTP front-end, in which case the run id stands in.
+    trace_id: Optional[str] = None
+    request_id: Optional[str] = None
+
+    @property
+    def effective_trace_id(self) -> str:
+        """The ID stamped into spans and the ledger for this run."""
+        return self.trace_id if self.trace_id is not None else self.id
 
     def expired(self, now: Optional[float] = None) -> bool:
         if self.deadline_at is None:
@@ -137,6 +148,10 @@ class ExecutionLane:
         self._wake = asyncio.Event()
         self._task: Optional[asyncio.Task] = None
         self._busy = False
+        #: The batch currently on the worker thread (empty when idle);
+        #: read by ``in_flight`` for the ops surfaces.  Mutated only on
+        #: the event loop, so ``/status`` handlers see it consistently.
+        self.executing: List[PendingRun] = []
         self.draining = False
         #: Load-shedding / expiry counters, read by the engine's stats.
         self.shed = 0
@@ -208,6 +223,7 @@ class ExecutionLane:
                 if not batch:
                     continue
                 self._busy = True
+                self.executing = list(batch)
                 begun = time.monotonic()
                 try:
                     payloads = await asyncio.to_thread(self._runner, batch)
@@ -224,10 +240,32 @@ class ExecutionLane:
                             run.future.set_exception(exc)
                 finally:
                     self._busy = False
+                    self.executing = []
                     elapsed = time.monotonic() - begun
                     self.exec_ewma = (
                         elapsed if self.exec_ewma is None
                         else 0.3 * elapsed + 0.7 * self.exec_ewma)
+
+    def in_flight(self) -> List[Dict[str, object]]:
+        """Every request on the lane right now — executing batch first,
+        then the queue in arrival order — with age and correlation IDs,
+        the ``/status`` in-flight table."""
+        now = time.monotonic()
+        rows: List[Dict[str, object]] = []
+        for state, runs in (("executing", self.executing),
+                            ("queued", self._pending)):
+            for run in runs:
+                rows.append({
+                    "id": run.id,
+                    "trace_id": run.effective_trace_id,
+                    "request_id": run.request_id,
+                    "state": state,
+                    "age_seconds": round(now - run.queued_at, 3),
+                    "deadline_in_seconds": (
+                        None if run.deadline_at is None
+                        else round(run.deadline_at - now, 3)),
+                })
+        return rows
 
     async def drain(self, timeout: float = 30.0) -> bool:
         """Refuse new work, fail queued runs, wait out the in-flight
@@ -308,9 +346,17 @@ class ServiceEngine:
 
     # -- serving -------------------------------------------------------
 
-    async def serve(self, request: PartitionRequest) -> dict:
+    async def serve(self, request: PartitionRequest,
+                    request_id: Optional[str] = None,
+                    trace_id: Optional[str] = None) -> dict:
         """Serve one partition request through cache → coalescer →
         lane.  Returns a fresh payload dict the caller may annotate.
+
+        ``request_id``/``trace_id`` are the HTTP front-end's
+        correlation IDs; when this request executes (rather than
+        hitting the cache or coalescing onto a leader), they ride the
+        :class:`PendingRun` onto the portfolio, so every span of the
+        execution and its ledger entry carry the trace ID.
 
         The request's deadline (``deadline_ms`` or the server default)
         is fixed here, at admission: it bounds queue wait + execution,
@@ -328,7 +374,8 @@ class ServiceEngine:
             # Traced requests always execute (the trace file is the
             # point) and never join a batch or populate the cache.
             out = dict(await self._with_deadline(
-                self._submit(request, key, deadline_at, traced=True),
+                self._submit(request, key, deadline_at, traced=True,
+                             request_id=request_id, trace_id=trace_id),
                 deadline_at))
         else:
             cached = self.results.get(key)
@@ -340,7 +387,9 @@ class ServiceEngine:
             self._count("cache_misses")
 
             async def factory() -> dict:
-                payload = await self._submit(request, key, deadline_at)
+                payload = await self._submit(request, key, deadline_at,
+                                             request_id=request_id,
+                                             trace_id=trace_id)
                 if not payload.get("degraded"):
                     # Degraded payloads (deadline partials, breaker
                     # fallbacks) are point-in-time answers — caching
@@ -358,12 +407,25 @@ class ServiceEngine:
                 piggyback = self.coalescer.inflight(key)
                 if piggyback:
                     self._count("coalesced")
+                else:
+                    # This body runs a loop tick after the
+                    # admission-time cache check; a leader can finish
+                    # in that gap — result cached, in-flight entry
+                    # gone — so re-check before electing ourselves the
+                    # new leader and re-executing the same key.
+                    done = self.results.get(key)
+                    if done is not None:
+                        self._count("cache_hits")
+                        late = dict(done)
+                        late["cached"] = True
+                        late["coalesced"] = False
+                        return late
                 payload = dict(await self.coalescer.run(key, factory))
                 payload["coalesced"] = piggyback
                 return payload
 
             out = dict(await self._with_deadline(coalesced(), deadline_at))
-            out["cached"] = False
+            out.setdefault("cached", False)
         return self._finish(out, request, deadline_ms)
 
     async def _with_deadline(self, awaitable, deadline_at) -> dict:
@@ -403,14 +465,17 @@ class ServiceEngine:
 
     async def _submit(self, request: PartitionRequest, key: str,
                       deadline_at: Optional[float] = None,
-                      traced: bool = False) -> dict:
+                      traced: bool = False,
+                      request_id: Optional[str] = None,
+                      trace_id: Optional[str] = None) -> dict:
         run_id = f"r{next(self._ids):06d}-{secrets.token_hex(3)}"
         run = PendingRun(
             id=run_id, request=request, key=key,
             future=asyncio.get_running_loop().create_future(),
             batch_key=None if traced else request.batch_key(),
             trace_path=self._trace_path(run_id) if traced else None,
-            deadline_at=deadline_at)
+            deadline_at=deadline_at,
+            request_id=request_id, trace_id=trace_id)
         return await self.lane.submit(run)
 
     # -- execution (lane worker thread) --------------------------------
@@ -419,12 +484,60 @@ class ServiceEngine:
         """Execute a batch of same-(netlist, config) requests.
 
         Runs on the lane's worker thread — the only place the engine
-        touches the portfolio runtime.  Returns one payload *or
-        exception* per batch member; a whole-batch failure is fanned
-        out as one exception per member.  Consults the per-netlist
-        circuit breaker first and records the execution's health after,
-        so a netlist that keeps crashing or timing out stops occupying
-        the lane with full portfolios.
+        touches the portfolio runtime.  The telemetry wrapper around
+        :meth:`_run_batch_inner`: records each member's queue wait and
+        the batch's execution wall in the service histograms, and wraps
+        the whole invocation in one ``service.execute`` span carrying
+        the lead run's IDs — the execution tree every request-scoped
+        root span references by ``exec_id``.  The trace scope is
+        installed on this worker thread (synchronous code, so unlike
+        the event loop it cannot interleave requests), which is how
+        parent-side collector events pick up the IDs.
+        """
+        head = batch[0]
+        mx = metrics()
+        tr = tracer()
+        if mx.enabled:
+            now = time.monotonic()
+            for run in batch:
+                mx.histogram(
+                    "repro_service_queue_wait_seconds",
+                    "Time a request spent queued on the execution lane.",
+                    buckets=SERVICE_BUCKETS,
+                ).observe(max(0.0, now - run.queued_at))
+        t_exec = tr.begin() if tr.enabled else 0
+        begun = time.perf_counter()
+        outcome = "error"
+        try:
+            with trace_scope(trace_id=head.effective_trace_id,
+                             exec_id=head.id):
+                payloads = self._run_batch_inner(batch)
+            outcome = "ok"
+            return payloads
+        finally:
+            elapsed = time.perf_counter() - begun
+            if tr.enabled:
+                tr.end("service.execute", t_exec, {
+                    "exec_id": head.id,
+                    "trace_id": head.effective_trace_id,
+                    "batch": len(batch),
+                    "requests": [run.id for run in batch],
+                    "netlist": head.request.netlist.kind,
+                    "outcome": outcome})
+            if mx.enabled:
+                mx.histogram(
+                    "repro_service_execution_seconds",
+                    "Wall time of one execution-lane batch.",
+                    buckets=SERVICE_BUCKETS).observe(elapsed)
+
+    def _run_batch_inner(self, batch: List[PendingRun]) -> List[object]:
+        """The uninstrumented batch body: breaker plan, netlist
+        resolution, single/degraded/merged execution.  Returns one
+        payload *or exception* per batch member; a whole-batch failure
+        is fanned out as one exception per member.  Consults the
+        per-netlist circuit breaker first and records the execution's
+        health after, so a netlist that keeps crashing or timing out
+        stops occupying the lane with full portfolios.
         """
         if self.kernels is not None:
             from ..kernels import set_kernel_mode
@@ -521,7 +634,8 @@ class ServiceEngine:
                               runs=request.runs, seed=request.seed,
                               keep_results=True, trace=run.trace_path,
                               retries=self.retries, faults=self.faults,
-                              deadline_seconds=self._deadline_seconds([run]))
+                              deadline_seconds=self._deadline_seconds([run]),
+                              trace_id=run.effective_trace_id)
         result = execute(portfolio, jobs=self.jobs)
         self._count("executed_portfolios")
         self._count("executed_starts", result.runs)
@@ -547,7 +661,8 @@ class ServiceEngine:
         portfolio = Portfolio(algorithm=algorithm, hg=hg,
                               runs=1, seed=request.seed,
                               keep_results=True, trace=run.trace_path,
-                              deadline_seconds=self._deadline_seconds([run]))
+                              deadline_seconds=self._deadline_seconds([run]),
+                              trace_id=run.effective_trace_id)
         set_kernel_mode(cheap)
         try:
             result = execute(portfolio, jobs=1)
@@ -583,7 +698,19 @@ class ServiceEngine:
                                 seed=batch[0].request.seed,
                                 keep_results=True, job_list=job_list,
                                 retries=self.retries, faults=self.faults,
-                                deadline_seconds=self._deadline_seconds(batch))
+                                deadline_seconds=self._deadline_seconds(batch),
+                                trace_id=batch[0].effective_trace_id)
+        tr = tracer()
+        if tr.enabled:
+            # One child marker per batched member, inside the
+            # ``service.execute`` scope: ties each rider's IDs and seed
+            # range to the shared execution tree.
+            for run, offset in zip(batch, offsets):
+                tr.instant("service.batch_member", {
+                    "exec_id": batch[0].id, "member_id": run.id,
+                    "member_trace_id": run.effective_trace_id,
+                    "request_id": run.request_id,
+                    "offset": offset, "runs": run.request.runs})
         executor = get_executor(self.jobs)
         result = executor.run(merged)
         self._count("executed_portfolios")
@@ -603,7 +730,8 @@ class ServiceEngine:
             # Each request is ledger-recorded as its own portfolio —
             # same entry a standalone CLI run would have written.
             portfolio = Portfolio(algorithm=algorithm, hg=hg, runs=n,
-                                  seed=run.request.seed, keep_results=True)
+                                  seed=run.request.seed, keep_results=True,
+                                  trace_id=run.effective_trace_id)
             record_result(sub, portfolio, jobs=executor.jobs)
             payloads.append(self._guarded(self._payload, run, sub, hg))
         return payloads
@@ -713,6 +841,15 @@ class ServiceEngine:
                                 "misses": self.hierarchies.misses},
             "coalescer": self.coalescer.stats(),
         }
+
+    def status(self) -> Dict[str, object]:
+        """The engine's part of the ``GET /status`` body: everything
+        :meth:`stats` reports plus the live in-flight table.  The
+        server layers request-level latency summaries and profiler
+        state on top."""
+        body = self.stats()
+        body["in_flight"] = self.lane.in_flight()
+        return body
 
     def export_metrics(self, registry) -> None:
         """Sync engine counters/cache stats into ``registry`` (called

@@ -31,12 +31,21 @@ from ..errors import ReproError
 from ..hypergraph import Hypergraph, load_circuit, read_hmetis, read_json
 from ..solvers import ALGORITHMS
 
-__all__ = ["SCHEMA_VERSION", "MAX_DEADLINE_MS", "ProtocolError",
-           "NetlistSpec", "PartitionRequest", "canonical_json",
-           "netlist_digest", "inline_netlist"]
+__all__ = ["SCHEMA_VERSION", "MAX_DEADLINE_MS", "HEADER_REQUEST_ID",
+           "HEADER_TRACE_ID", "ProtocolError", "NetlistSpec",
+           "PartitionRequest", "canonical_json", "netlist_digest",
+           "inline_netlist"]
 
 #: Version stamped into every response envelope.
 SCHEMA_VERSION = 1
+
+#: Correlation headers — part of the wire contract.  Clients may
+#: supply either on any request; the server echoes both back (headers
+#: and, on ``/partition``, the response body) after sanitising, and
+#: generates them when absent.  ``trace_id`` defaults to
+#: ``request_id`` when only the latter is present.
+HEADER_REQUEST_ID = "X-Request-Id"
+HEADER_TRACE_ID = "X-Trace-Id"
 
 #: Modes a request may execute under.  ``fresh`` is CLI-identical
 #: (every start coarsens for itself); ``ml-reuse`` coarsens once per

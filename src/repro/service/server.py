@@ -43,21 +43,29 @@ second signal aborts immediately.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
+import math
+import os
+import secrets
 import signal
 import socket
 import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
-from ..obs import MetricsRegistry, get_logger, set_metrics
+from ..obs import (JsonlTraceWriter, MetricsRegistry, SamplingProfiler,
+                   enable_memory_profiling, get_logger, read_jsonl_objects,
+                   set_metrics, set_tracer, tracer)
+from ..obs.metrics import SERVICE_BUCKETS
 from .engine import ServiceEngine
 from .jobs import (JOB_CANCELLED, JOB_DONE, JOB_FAILED, JOB_RUNNING,
                    JobTable, ServiceJob)
-from .protocol import PartitionRequest, ProtocolError
+from .protocol import (HEADER_REQUEST_ID, HEADER_TRACE_ID,
+                       PartitionRequest, ProtocolError)
 
 _log = get_logger("service.server")
 
-__all__ = ["PartitionServer", "DEFAULT_PORT"]
+__all__ = ["PartitionServer", "DEFAULT_PORT", "read_access_log"]
 
 DEFAULT_PORT = 8349
 
@@ -83,9 +91,15 @@ async def _read_request(reader: asyncio.StreamReader,
                         idle_timeout: Optional[float] = None,
                         read_timeout: Optional[float] = None,
                         max_body_bytes: int = _MAX_BODY_BYTES,
-                        ) -> Optional[Tuple[str, str, Dict[str, str],
-                                            bytes]]:
+                        ) -> Optional[Tuple[float, str, str,
+                                            Dict[str, str], bytes]]:
     """Parse one request; ``None`` on clean EOF (client went away).
+
+    The first tuple element is a ``perf_counter`` stamp taken when the
+    request's first byte arrived — the closest server-side moment to
+    the client starting its stopwatch, so the latency histogram built
+    on it includes head/body read time and stays comparable to
+    client-side send-to-receive measurements.
 
     Two timers defend the accept loop against slow clients:
     ``idle_timeout`` bounds the wait for the *first* byte of a request
@@ -104,6 +118,7 @@ async def _read_request(reader: asyncio.StreamReader,
         return None  # idle keep-alive connection: close silently
     except asyncio.IncompleteReadError:
         return None  # clean EOF before a new request began
+    arrived = time.perf_counter()
     try:
         async with asyncio.timeout(read_timeout):
             head = first + await reader.readuntil(b"\r\n\r\n")
@@ -140,7 +155,7 @@ async def _read_request(reader: asyncio.StreamReader,
             body = await reader.readexactly(body_len) if body_len else b""
     except TimeoutError:
         raise _HttpError(408, "timed out reading request body")
-    return method, target, headers, body
+    return arrived, method, target, headers, body
 
 
 def _response(status: int, payload: bytes, content_type: str,
@@ -160,6 +175,39 @@ def _json_bytes(obj) -> bytes:
     return json.dumps(obj, sort_keys=True).encode("utf-8")
 
 
+#: Characters allowed in client-supplied correlation IDs.  Anything
+#: else is stripped before the ID is echoed into response headers (CRLF
+#: injection), trace args, and the access log.
+_ID_SAFE = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    "-_.:/@")
+_MAX_ID_LEN = 120
+
+
+def _sanitize_id(value: Optional[str]) -> Optional[str]:
+    """A header-supplied ID reduced to its safe characters, or ``None``
+    when nothing safe remains."""
+    if not value:
+        return None
+    cleaned = "".join(ch for ch in value if ch in _ID_SAFE)[:_MAX_ID_LEN]
+    return cleaned or None
+
+
+def _clean_rows(rows: list) -> list:
+    """Histogram summary rows with NaN quantiles (empty histograms)
+    mapped to ``None`` so the ``/status`` body is strict JSON."""
+    return [{k: (None if isinstance(v, float) and math.isnan(v) else v)
+             for k, v in row.items()} for row in rows]
+
+
+def read_access_log(path) -> Iterator[Dict[str, object]]:
+    """Yield access-log records, oldest first — the same tolerant
+    reading discipline as the run ledger (corrupt or truncated lines,
+    including a final line cut short by ``kill -9``, are skipped with
+    a warning)."""
+    yield from read_jsonl_objects(path, kind="access log")
+
+
 class PartitionServer:
     """The long-lived serving process around a :class:`ServiceEngine`."""
 
@@ -171,7 +219,11 @@ class PartitionServer:
                  read_timeout: Optional[float] = 30.0,
                  max_body_bytes: int = _MAX_BODY_BYTES,
                  job_ttl: Optional[float] = 3600.0,
-                 max_jobs: Optional[int] = 64):
+                 max_jobs: Optional[int] = 64,
+                 trace_path: Optional[str] = None,
+                 access_log_path: Optional[str] = None,
+                 profile_dir: Optional[str] = None,
+                 profile_interval: float = 0.01):
         self.engine = engine if engine is not None else ServiceEngine()
         self.host = host
         self.port = port
@@ -185,9 +237,28 @@ class PartitionServer:
         self.draining = False
         self.connections = 0
         self.connections_rejected = 0
+        #: Daemon-lifetime trace file (``repro serve --trace``): unlike
+        #: per-request ``"trace": true`` runs — which bypass cache,
+        #: coalescing, and batching so their trace is honest — a
+        #: server-wide tracer sees the *real* pipeline, so a coalesced
+        #: burst shows one execution tree fanned out to N request spans.
+        self.trace_path = trace_path
+        self.access_log_path = access_log_path
+        self.profile_dir = profile_dir
+        self.profiler: Optional[SamplingProfiler] = (
+            SamplingProfiler(interval_seconds=profile_interval)
+            if profile_dir is not None else None)
+        self.started_at = time.time()
         self._server: Optional[asyncio.AbstractServer] = None
         self._previous_metrics = None
         self._shutdown_event: Optional[asyncio.Event] = None
+        self._tracer: Optional[JsonlTraceWriter] = None
+        self._previous_tracer = None
+        self._access_file = None
+        self._request_seq = itertools.count(1)
+        #: endpoint -> bound ``Histogram.observe``, so the per-request
+        #: hot path skips the registry's family/label-key lookups.
+        self._latency_observers: Dict[str, object] = {}
 
     # -- lifecycle -----------------------------------------------------
 
@@ -198,6 +269,22 @@ class PartitionServer:
         updated to the bound one.
         """
         self._previous_metrics = set_metrics(self.registry)
+        if self.trace_path is not None:
+            self._tracer = JsonlTraceWriter(self.trace_path)
+            self._previous_tracer = set_tracer(self._tracer)
+        if self.access_log_path is not None:
+            parent = os.path.dirname(str(self.access_log_path))
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            # Line-buffered append: whole records hit disk per request,
+            # so a killed daemon loses at most one (truncated) line —
+            # exactly the case read_access_log tolerates.
+            self._access_file = open(self.access_log_path, "a",
+                                     encoding="utf-8", buffering=1)
+        if self.profiler is not None:
+            os.makedirs(self.profile_dir, exist_ok=True)
+            enable_memory_profiling(True)
+            self.profiler.start()
         self.engine.start()
         self._shutdown_event = asyncio.Event()
         self._server = await asyncio.start_server(
@@ -245,6 +332,25 @@ class PartitionServer:
                          "still executing", self.drain_seconds)
         if self._server is not None:
             await self._server.wait_closed()
+        if self.profiler is not None:
+            self.profiler.stop()
+            enable_memory_profiling(False)
+            try:
+                final = os.path.join(self.profile_dir, "profile.collapsed")
+                self.profiler.write(final)
+                _log.info("wrote final profile to %s", final)
+            except OSError as exc:
+                _log.warning("could not write final profile: %s", exc)
+        if self._tracer is not None:
+            set_tracer(self._previous_tracer)
+            self._tracer.close()
+            self._tracer = None
+        if self._access_file is not None:
+            try:
+                self._access_file.close()
+            except OSError:
+                pass
+            self._access_file = None
         set_metrics(self._previous_metrics)
         _log.info("shutdown complete")
 
@@ -295,14 +401,43 @@ class PartitionServer:
                     return
                 if parsed is None:
                     return
-                method, target, headers, body = parsed
-                status, payload, content_type, extra = \
-                    await self._dispatch(method, target, body)
+                # Admission: the clock starts at the request's first
+                # byte, so the histogram below measures first-byte to
+                # drained-response — the closest server-side analogue
+                # of a client's send-to-receive stopwatch, which is
+                # what lets bench_service.py cross-check the quantiles.
+                admitted, method, target, headers, body = parsed
+                request_id = _sanitize_id(
+                    headers.get(HEADER_REQUEST_ID.lower())) \
+                    or self._new_request_id()
+                trace_id = _sanitize_id(
+                    headers.get(HEADER_TRACE_ID.lower())) or request_id
+                status, payload, content_type, extra, info = \
+                    await self._dispatch(method, target, body,
+                                         request_id, trace_id)
+                extra = dict(extra or {})
+                extra[HEADER_REQUEST_ID] = request_id
+                extra[HEADER_TRACE_ID] = trace_id
                 keep_alive = headers.get("connection", "").lower() != \
                     "close" and not self.draining
                 writer.write(_response(status, payload, content_type,
                                        keep_alive, extra_headers=extra))
                 await writer.drain()
+                latency = time.perf_counter() - admitted
+                path = target.split("?", 1)[0]
+                endpoint = path.split("/", 2)[1] if "/" in path else ""
+                observe = self._latency_observers.get(endpoint)
+                if observe is None:
+                    observe = self.registry.histogram(
+                        "repro_service_latency_seconds",
+                        "Admission-to-response latency (first request "
+                        "byte to response drained), by endpoint.",
+                        buckets=SERVICE_BUCKETS,
+                        endpoint=endpoint or "root").observe
+                    self._latency_observers[endpoint] = observe
+                observe(latency)
+                self._log_access(request_id, trace_id, method, path,
+                                 status, latency, info)
                 if not keep_alive:
                     return
         except (ConnectionResetError, BrokenPipeError,
@@ -316,16 +451,26 @@ class PartitionServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _dispatch(self, method: str, target: str, body: bytes
+    def _new_request_id(self) -> str:
+        return f"q{next(self._request_seq):06d}-{secrets.token_hex(3)}"
+
+    async def _dispatch(self, method: str, target: str, body: bytes,
+                        request_id: str, trace_id: str
                         ) -> Tuple[int, bytes, str,
-                                   Optional[Dict[str, str]]]:
+                                   Optional[Dict[str, str]],
+                                   Dict[str, object]]:
         path = target.split("?", 1)[0]
         started = time.perf_counter()
         endpoint = path.split("/", 2)[1] if "/" in path else ""
         extra: Optional[Dict[str, str]] = None
+        # Endpoints deposit correlation facts here (exec_id, cache
+        # hit/miss, ...) for the root span and the access log.
+        info: Dict[str, object] = {}
+        tr = tracer()
+        t0 = tr.begin() if tr.enabled else 0
         try:
             status, payload, content_type = await self._route(
-                method, path, body)
+                method, path, body, request_id, trace_id, info)
         except ProtocolError as exc:
             status = exc.status
             payload = _json_bytes({"error": str(exc)})
@@ -340,6 +485,19 @@ class PartitionServer:
             status = 500
             payload = _json_bytes({"error": f"internal error: {exc}"})
             content_type = "application/json"
+        if tr.enabled:
+            # The per-request root span.  Args are explicit — never
+            # trace_scope here: this coroutine interleaves with other
+            # requests on the event loop, and a thread-local scope held
+            # across an await would stamp their spans too.
+            args: Dict[str, object] = {
+                "request_id": request_id, "trace_id": trace_id,
+                "method": method, "endpoint": endpoint or "root",
+                "status": status}
+            for key in ("exec_id", "cached", "coalesced", "degraded"):
+                if key in info:
+                    args[key] = info[key]
+            tr.end("service.request", t0, args)
         self.registry.counter(
             "repro_service_requests_total",
             "HTTP requests served, by endpoint and status code.",
@@ -349,10 +507,11 @@ class PartitionServer:
             "Request handling latency, by endpoint.",
             endpoint=endpoint or "root"
         ).observe(time.perf_counter() - started)
-        return status, payload, content_type, extra
+        return status, payload, content_type, extra, info
 
-    async def _route(self, method: str, path: str,
-                     body: bytes) -> Tuple[int, bytes, str]:
+    async def _route(self, method: str, path: str, body: bytes,
+                     request_id: str, trace_id: str,
+                     info: Dict[str, object]) -> Tuple[int, bytes, str]:
         if path == "/healthz":
             return self._healthz(method)
         if path == "/version":
@@ -367,12 +526,18 @@ class PartitionServer:
             self._expect(method, "GET")
             return 200, self._render_metrics(), \
                 "text/plain; version=0.0.4; charset=utf-8"
+        if path == "/status":
+            self._expect(method, "GET")
+            return self._status()
+        if path == "/profile":
+            self._expect(method, "GET")
+            return self._profile()
         if path == "/partition":
             self._expect(method, "POST")
-            return await self._partition(body)
+            return await self._partition(body, request_id, trace_id, info)
         if path == "/sweep":
             self._expect(method, "POST")
-            return await self._sweep(body)
+            return await self._sweep(body, request_id, trace_id)
         if path.startswith("/jobs/"):
             return await self._jobs_endpoint(method, path)
         if path.startswith("/trace/"):
@@ -399,6 +564,71 @@ class PartitionServer:
             "connections": self.connections,
             "connections_rejected": self.connections_rejected,
         }), "application/json"
+
+    def _status(self) -> Tuple[int, bytes, str]:
+        """``GET /status`` — the ops-console snapshot: everything
+        ``/healthz`` reports plus the live in-flight request table
+        (with ages and trace IDs), latency histogram summaries, and
+        profiler state.  JSON so ``repro top`` needs one poll."""
+        latency = {
+            name.split("repro_service_", 1)[1].rsplit("_seconds", 1)[0]:
+                _clean_rows(self.registry.histogram_summaries(name))
+            for name in ("repro_service_latency_seconds",
+                         "repro_service_queue_wait_seconds",
+                         "repro_service_execution_seconds")}
+        profiler: Dict[str, object] = {"enabled": self.profiler is not None}
+        if self.profiler is not None:
+            profiler.update(self.profiler.stats())
+        return 200, _json_bytes({
+            "status": "draining" if self.draining else "ok",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            **self.engine.status(),
+            "jobs_live": self.jobs.live(),
+            "jobs": self.jobs.stats(),
+            "connections": self.connections,
+            "connections_rejected": self.connections_rejected,
+            "latency": latency,
+            "profiler": profiler,
+            "tracing": self.trace_path is not None,
+            "access_log": self.access_log_path is not None,
+        }), "application/json"
+
+    def _profile(self) -> Tuple[int, bytes, str]:
+        """``GET /profile`` — the wall profile so far, collapsed-stack
+        format (feed straight to a flamegraph renderer).  404 unless
+        the daemon was started with ``--profile-dir``."""
+        if self.profiler is None:
+            raise ProtocolError(
+                "profiling is disabled (start with --profile-dir)",
+                status=404)
+        return 200, self.profiler.collapsed().encode("utf-8"), \
+            "text/plain; charset=utf-8"
+
+    def _log_access(self, request_id: str, trace_id: str, method: str,
+                    path: str, status: int, latency: float,
+                    info: Dict[str, object]) -> None:
+        """Append one JSONL access-log record; never raises (a full
+        disk costs a warning, not the response)."""
+        if self._access_file is None:
+            return
+        record: Dict[str, object] = {
+            "ts": round(time.time(), 6),
+            "request_id": request_id,
+            "trace_id": trace_id,
+            "method": method,
+            "route": path,
+            "status": status,
+            "latency_ms": round(latency * 1000.0, 3),
+        }
+        for key in ("exec_id", "cached", "coalesced", "degraded"):
+            if key in info:
+                record[key] = info[key]
+        try:
+            self._access_file.write(
+                json.dumps(record, sort_keys=True,
+                           separators=(",", ":")) + "\n")
+        except (OSError, ValueError) as exc:
+            _log.warning("could not write access log record: %s", exc)
 
     def _render_metrics(self) -> bytes:
         self.engine.export_metrics(self.registry)
@@ -433,15 +663,30 @@ class PartitionServer:
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ProtocolError(f"request body is not valid JSON: {exc}")
 
-    async def _partition(self, body: bytes) -> Tuple[int, bytes, str]:
+    async def _partition(self, body: bytes, request_id: str,
+                         trace_id: str, info: Dict[str, object]
+                         ) -> Tuple[int, bytes, str]:
         if self.draining:
             raise ProtocolError("server is shutting down", status=503,
                                 retry_after=self.drain_seconds)
         request = PartitionRequest.from_json(self._parse_body(body))
-        payload = await self.engine.serve(request)
+        payload = await self.engine.serve(request, request_id=request_id,
+                                          trace_id=trace_id)
+        # Echo the correlation IDs in the body (the headers carry them
+        # too) and surface the execution identity to the root span and
+        # access log: payload["id"] is the PendingRun that produced
+        # this answer — shared by every coalesced/cached request it
+        # served, which is what ties N request spans to one tree.
+        payload["request_id"] = request_id
+        payload["trace_id"] = trace_id
+        info["exec_id"] = payload.get("id")
+        for key in ("cached", "coalesced", "degraded"):
+            if key in payload:
+                info[key] = payload[key]
         return 200, _json_bytes(payload), "application/json"
 
-    async def _sweep(self, body: bytes) -> Tuple[int, bytes, str]:
+    async def _sweep(self, body: bytes, request_id: str,
+                     trace_id: str) -> Tuple[int, bytes, str]:
         if self.draining:
             raise ProtocolError("server is shutting down", status=503,
                                 retry_after=self.drain_seconds)
@@ -457,18 +702,23 @@ class PartitionServer:
         requests = [PartitionRequest.from_json(item) for item in items]
         job = self.jobs.create("sweep", total=len(requests))
         job.task = asyncio.get_running_loop().create_task(
-            self._run_sweep(job, requests))
+            self._run_sweep(job, requests, request_id, trace_id))
         return 202, _json_bytes({"job_id": job.id, "state": job.state,
-                                 "total": job.total}), "application/json"
+                                 "total": job.total,
+                                 "request_id": request_id,
+                                 "trace_id": trace_id}), "application/json"
 
-    async def _run_sweep(self, job: ServiceJob,
-                         requests: list) -> None:
+    async def _run_sweep(self, job: ServiceJob, requests: list,
+                         request_id: str, trace_id: str) -> None:
         job.state = JOB_RUNNING
         job.started = time.time()
 
         async def one(request: PartitionRequest) -> dict:
             try:
-                payload = await self.engine.serve(request)
+                # Sub-requests inherit the sweep's trace_id: the whole
+                # sweep regroups as one tree in a merged trace.
+                payload = await self.engine.serve(
+                    request, request_id=request_id, trace_id=trace_id)
             except ProtocolError as exc:
                 payload = {"error": str(exc), "status": exc.status}
             job.done += 1
