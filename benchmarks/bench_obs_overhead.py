@@ -13,6 +13,12 @@ circuits in three configurations:
   singletons, memory profiling off, no sampler thread), the
   configuration every ordinary run pays for.
 * ``enabled``   — full tracing to a file plus metrics collection.
+* ``recorded``  — decision recording to a file (``--record``): every
+  coarsening merge and refinement move written as compact JSONL.  The
+  recorder rides the hot loop itself, so this cell is the price of a
+  replayable flight recording; the *disabled* cell doubles as its
+  dormancy check (``recorder().enabled`` must read off, keeping the
+  uninstrumented CSR move loop on the fast path).
 * ``profiled``  — everything on at once: tracing, metrics, the
   sampling wall profiler, and tracemalloc peak-memory capture — the
   ``repro serve --profile-dir`` configuration.  This cell is
@@ -56,7 +62,8 @@ from repro import MLConfig, ml_bipartition
 from repro.hypergraph import load_circuit
 from repro.obs import (SamplingProfiler, collecting_metrics,
                        enable_memory_profiling, memory_peak,
-                       memory_profiling_enabled, tracing)
+                       memory_profiling_enabled, read_record, recorder,
+                       recording, tracing)
 
 SCALE = 0.05
 SEED = 7
@@ -139,15 +146,23 @@ def run_bench():
         with tempfile.TemporaryDirectory() as tmp:
             trace_path = os.path.join(tmp, f"{name}.trace.jsonl")
             prof_trace_path = os.path.join(tmp, f"{name}.prof.jsonl")
+            record_path = os.path.join(tmp, f"{name}.record.jsonl")
 
             def dormant():
                 # The disabled cell is also the dormancy check for the
-                # profiling layer: the switches must read off.
+                # profiling and recording layers: the switches must
+                # read off (a live recorder would force every FM move
+                # through the instrumented loop).
                 assert not memory_profiling_enabled()
+                assert not recorder().enabled
                 return mlc()
 
             def traced():
                 with tracing(trace_path), collecting_metrics():
+                    return mlc()
+
+            def recorded():
+                with recording(record_path):
                     return mlc()
 
             def profiled():
@@ -166,14 +181,18 @@ def run_bench():
 
             timed = _time_interleaved([("disabled", dormant),
                                        ("enabled", traced),
+                                       ("recorded", recorded),
                                        ("profiled", profiled)])
             t_off, v_off = timed["disabled"]
             t_on, v_on = timed["enabled"]
+            t_rec, v_rec = timed["recorded"]
             t_prof, v_prof = timed["profiled"]
             from repro.obs import read_trace
             events = list(read_trace(trace_path))
+            record_events = sum(1 for _ in read_record(record_path))
 
         assert v_on == v_off, f"tracing changed the result on {name}"
+        assert v_rec == v_off, f"recording changed the result on {name}"
         assert v_prof == v_off, f"profiling changed the result on {name}"
         base = baseline.get(name)
         row = {
@@ -183,12 +202,16 @@ def run_bench():
             "baseline_s": base["seconds"] if base else None,
             "disabled_s": round(t_off, 6),
             "enabled_s": round(t_on, 6),
+            "recorded_s": round(t_rec, 6),
             "profiled_s": round(t_prof, 6),
             "enabled_overhead_pct":
                 round(100.0 * (t_on - t_off) / t_off, 2),
+            "recorded_overhead_pct":
+                round(100.0 * (t_rec - t_off) / t_off, 2),
             "profiled_overhead_pct":
                 round(100.0 * (t_prof - t_off) / t_off, 2),
             "trace_events": len(events),
+            "record_events": record_events,
         }
         if base:
             row["disabled_overhead_pct"] = round(
@@ -227,17 +250,20 @@ def print_report(report):
     print(f"\nobservability overhead (MLc, scale={report['meta']['scale']}, "
           f"best of {report['meta']['repeats']})")
     print(f"{'circuit':>10} {'baseline':>9} {'disabled':>9} "
-          f"{'enabled':>9} {'profiled':>9} {'off %':>7} {'on %':>7} "
-          f"{'prof %':>7} {'events':>7}")
+          f"{'enabled':>9} {'recorded':>9} {'profiled':>9} {'off %':>7} "
+          f"{'on %':>7} {'rec %':>7} {'prof %':>7} {'events':>7} "
+          f"{'decs':>7}")
     for r in report["results"]:
         base = f"{r['baseline_s']:9.4f}" if r["baseline_s"] else "      n/a"
         offp = (f"{r['disabled_overhead_pct']:+7.1f}"
                 if "disabled_overhead_pct" in r else "    n/a")
         print(f"{r['circuit']:>10} {base} {r['disabled_s']:9.4f} "
-              f"{r['enabled_s']:9.4f} {r['profiled_s']:9.4f} {offp} "
+              f"{r['enabled_s']:9.4f} {r['recorded_s']:9.4f} "
+              f"{r['profiled_s']:9.4f} {offp} "
               f"{r['enabled_overhead_pct']:+7.1f} "
+              f"{r['recorded_overhead_pct']:+7.1f} "
               f"{r['profiled_overhead_pct']:+7.1f} "
-              f"{r['trace_events']:7d}")
+              f"{r['trace_events']:7d} {r['record_events']:7d}")
     s = report["summary"]
     if s["disabled_overhead_pct"] is not None:
         print(f"disabled total {s['disabled_total_s']:.4f}s vs baseline "

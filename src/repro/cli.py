@@ -22,6 +22,9 @@ Examples::
     repro trace-summary run.trace.jsonl
     repro compare baseline.jsonl current.jsonl --gate
     repro report --ledger .repro/ledger.jsonl --trace run.trace.jsonl
+    repro partition s9234.hgr --record run.record.jsonl
+    repro replay run.record.jsonl s9234.hgr
+    repro diff-run csr.record.jsonl numpy.record.jsonl
 
 Every subcommand accepts ``-v``/``-vv`` (or ``--log-level LEVEL``) to
 raise the verbosity of the ``repro.*`` logging hierarchy, which is
@@ -143,7 +146,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     portfolio = Portfolio(algorithm=algorithm, hg=hg, runs=args.runs,
                           seed=args.seed, budget_seconds=args.budget,
                           retries=args.retries, keep_results=True,
-                          faults=faults, verify=verify, trace=args.trace)
+                          faults=faults, verify=verify, trace=args.trace,
+                          record=args.record)
     registry = None
     if args.metrics_out:
         from .obs import collecting_metrics
@@ -156,6 +160,10 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     if args.trace:
         print(f"trace written to {args.trace} (load in Perfetto or "
               "chrome://tracing, or run 'repro trace-summary')",
+              file=sys.stderr)
+    if args.record:
+        print(f"decision recording written to {args.record} (audit with "
+              "'repro replay', compare with 'repro diff-run')",
               file=sys.stderr)
     outcome.require_quorum(args.min_ok_fraction)
     if not outcome.ok_records:
@@ -313,10 +321,39 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _require_recording(path: str) -> None:
+    # The tolerant JSONL reader maps a missing file to an empty
+    # stream; at the CLI that would silently "verify" nothing, so
+    # require the file up front (diff(1)-style exit 2 via ReproError).
+    if not Path(path).is_file():
+        raise ReproError(f"recording not found: {path}")
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .obs import replay_recording
+    _require_recording(args.recording)
+    hg = _read_netlist(args.netlist)
+    report = replay_recording(args.recording, hg,
+                              verify_states=args.verify_states)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_diff_run(args: argparse.Namespace) -> int:
+    from .obs import diff_recordings
+    for path in (args.a, args.b):
+        _require_recording(path)
+    report = diff_recordings(args.a, args.b)
+    print(report.render())
+    # diff(1) semantics: 0 identical, 1 diverged, 2 (ReproError) bad input.
+    return 0 if report.identical else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .obs import build_report
     text = build_report(ledger=args.ledger, trace=args.trace,
-                        fmt=args.format, last=args.last)
+                        fmt=args.format, last=args.last,
+                        record=args.record)
     if args.output:
         try:
             Path(args.output).parent.mkdir(parents=True, exist_ok=True)
@@ -504,6 +541,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_part.add_argument("--trace", metavar="FILE", default=None,
                         help="write a Chrome trace-event stream of the "
                              "whole run (all workers) to FILE")
+    p_part.add_argument("--record", metavar="FILE", default=None,
+                        help="write the run's decision recording (every "
+                             "merge and refinement move, all workers) to "
+                             "FILE as JSONL; replay with 'repro replay', "
+                             "compare runs with 'repro diff-run'")
     p_part.add_argument("--metrics-out", metavar="FILE", default=None,
                         help="write Prometheus-format metrics to FILE "
                              "after the run")
@@ -535,6 +577,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--metrics-out", metavar="FILE", default=None,
                          help="write Prometheus-format metrics to FILE")
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_replay = sub.add_parser(
+        "replay", parents=[common],
+        help="re-execute a decision recording against its netlist, "
+             "auditing every recorded gain/cut/balance; exits 1 on any "
+             "mismatch")
+    p_replay.add_argument("recording",
+                          help="recording written by --record")
+    p_replay.add_argument("netlist", help="the netlist (.hgr/.json) the "
+                                          "recording was made on")
+    p_replay.add_argument("--verify-states", action="store_true",
+                          help="additionally run each refinement "
+                               "block's full-state invariant check "
+                               "(slower, strictest audit)")
+    p_replay.set_defaults(fn=_cmd_replay)
+
+    p_diff = sub.add_parser(
+        "diff-run", parents=[common],
+        help="align two decision recordings and report the first "
+             "diverging decision (diff semantics: exit 1 when they "
+             "diverge)")
+    p_diff.add_argument("a", help="recording A (.jsonl)")
+    p_diff.add_argument("b", help="recording B (.jsonl)")
+    p_diff.set_defaults(fn=_cmd_diff_run)
 
     p_tsum = sub.add_parser(
         "trace-summary", parents=[common],
@@ -579,6 +645,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--trace", default=None, metavar="FILE",
                        help="also include convergence tables from this "
                             "trace file")
+    p_rep.add_argument("--record", default=None, metavar="FILE",
+                       help="also include decision analytics (gain "
+                            "histogram, cut-vs-move curve) from this "
+                            "recording file")
     p_rep.add_argument("--format", choices=["markdown", "html"],
                        default="markdown")
     p_rep.add_argument("--last", type=int, default=50,

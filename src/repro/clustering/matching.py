@@ -214,6 +214,12 @@ def match(hg: Hypergraph,
             f"{hg.num_modules}")
     rng = rng if rng is not None else make_rng(seed)
 
+    # Decision recording: one ``merge`` event per opened cluster; the
+    # leftover singletons of Steps 8-10 are implicit (ascending ids).
+    from ..obs import recorder
+    rec = recorder()
+    rec_on = rec.enabled
+
     n = hg.num_modules
     areas = hg.csr.areas_list if csr_enabled() else None
     perm = random_permutation(n, rng)
@@ -294,6 +300,8 @@ def match(hg: Hypergraph,
             cluster_of[best] = cluster
             matched[best] = True
             n_match += 2
+        if rec_on:
+            rec.emit({"t": "merge", "v": v, "w": best})
 
     # Steps 8-10: every remaining module becomes a singleton cluster.
     for v in range(n):

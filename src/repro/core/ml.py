@@ -19,7 +19,7 @@ from typing import List, Optional, Tuple
 from ..clustering import Clustering, induce, match
 from ..errors import ClusteringError
 from ..hypergraph import Hypergraph
-from ..obs import metrics, tracer
+from ..obs import metrics, recorder, tracer
 from ..partition import Partition, cut
 from ..rng import SeedLike, make_rng, spawn
 from ..fm.clip import clip_bipartition  # noqa: F401  (re-export convenience)
@@ -90,6 +90,7 @@ def build_hierarchy(hg: Hypergraph, config: Optional[MLConfig] = None,
     rng = spawn(base)
     tr = tracer()
     mx = metrics()
+    rec = recorder()
     t_all = tr.begin() if tr.enabled else 0
     m_phase = time.perf_counter() if mx.enabled else 0.0
     netlists = [hg]
@@ -104,6 +105,14 @@ def build_hierarchy(hg: Hypergraph, config: Optional[MLConfig] = None,
             break  # no progress: all modules became singletons
         netlists.append(induce(current, clustering))
         clusterings.append(clustering)
+        if rec.enabled:
+            # Confirms the preceding run of merge events as a kept
+            # level (merges of a no-progress matching get no
+            # confirmation and are discarded by readers).
+            rec.emit({"t": "level", "l": len(clusterings) - 1,
+                      "n": current.num_modules,
+                      "c": netlists[-1].num_modules,
+                      "cn": netlists[-1].num_nets})
         if tr.enabled:
             coarse = netlists[-1]
             tr.complete("coarsen.level", t_level, {
@@ -155,6 +164,7 @@ def ml_bipartition(hg: Hypergraph,
     fm_config = config.engine_config()
     tr = tracer()
     mx = metrics()
+    rec = recorder()
     t_run = tr.begin() if tr.enabled else 0
 
     if hierarchy is None:
@@ -171,6 +181,8 @@ def ml_bipartition(hg: Hypergraph,
     # several independent starts, keeping the best (Section V).
     t_phase = tr.begin() if tr.enabled else 0
     m_phase = time.perf_counter() if mx.enabled else 0.0
+    if rec.enabled:
+        rec.level = hierarchy.levels
     result = fm_bipartition(hierarchy.coarsest, initial=None,
                             config=fm_config, rng=rng)
     total_passes = result.passes
@@ -198,6 +210,8 @@ def ml_bipartition(hg: Hypergraph,
     for i in range(hierarchy.levels - 1, -1, -1):
         t_phase = tr.begin() if tr.enabled else 0
         projected = project(solution, hierarchy.clusterings[i])
+        if rec.enabled:
+            rec.level = i
         result = fm_bipartition(hierarchy.netlists[i], initial=projected,
                                 config=fm_config, rng=rng)
         solution = result.partition
@@ -217,6 +231,8 @@ def ml_bipartition(hg: Hypergraph,
                      ).observe(time.perf_counter() - m_phase)
 
     final_cut = cut(hg, solution)
+    if rec.enabled:
+        rec.level = -1
     if tr.enabled:
         tr.end("ml.bipartition", t_run, {
             "modules": hg.num_modules, "nets": hg.num_nets,

@@ -18,7 +18,7 @@ from ..clustering import Clustering, induce, match
 from ..clustering.project import project
 from ..errors import ClusteringError, ConfigError
 from ..hypergraph import Hypergraph
-from ..obs import tracer
+from ..obs import recorder, tracer
 from ..partition import Partition, cut
 from ..rng import SeedLike, make_rng
 from ..fm.engine import fm_bipartition
@@ -42,6 +42,7 @@ def _restricted_cycle(hg: Hypergraph, solution: Partition,
                       config: MLConfig, rng: random.Random) -> Partition:
     """One V-cycle: restricted coarsening, seeded uncoarsening."""
     fm_config = config.engine_config()
+    rec = recorder()
 
     netlists = [hg]
     clusterings: List[Clustering] = []
@@ -61,16 +62,27 @@ def _restricted_cycle(hg: Hypergraph, solution: Partition,
             new_labels[c] = labels[v]
         clusterings.append(clustering)
         labels = new_labels
+        if rec.enabled:
+            rec.emit({"t": "level", "l": len(clusterings) - 1,
+                      "n": current.num_modules,
+                      "c": netlists[-1].num_modules,
+                      "cn": netlists[-1].num_nets})
 
+    if rec.enabled:
+        rec.level = len(clusterings)
     refined = fm_bipartition(netlists[-1],
                              initial=Partition(labels, solution.k),
                              config=fm_config, rng=rng)
     current_solution = refined.partition
     for i in range(len(clusterings) - 1, -1, -1):
         projected = project(current_solution, clusterings[i])
+        if rec.enabled:
+            rec.level = i
         refined = fm_bipartition(netlists[i], initial=projected,
                                  config=fm_config, rng=rng)
         current_solution = refined.partition
+    if rec.enabled:
+        rec.level = -1
     return current_solution
 
 
@@ -102,9 +114,12 @@ def ml_vcycle(hg: Hypergraph,
         best_partition, best_cut = initial, cut(hg, initial)
 
     tr = tracer()
+    rec = recorder()
     cycle_cuts = [best_cut]
     for i in range(cycles):
         t_cycle = tr.begin() if tr.enabled else 0
+        if rec.enabled:
+            rec.emit({"t": "cycle", "c": i + 1})
         candidate = _restricted_cycle(hg, best_partition, config, rng)
         candidate_cut = cut(hg, candidate)
         cycle_cuts.append(candidate_cut)

@@ -39,7 +39,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..errors import PartitionError
 from ..hypergraph import Hypergraph
 from ..kernels import csr_enabled, kernel_mode, numpy_enabled
-from ..obs import metrics, tracer
+from ..obs import metrics, recorder, tracer
 from ..partition import (BalanceConstraint, Partition, PartitionState, cut,
                          random_partition)
 from ..partition.rebalance import rebalance_random
@@ -276,13 +276,21 @@ def _move_loop_csr(state: PartitionState, buckets, gains: List[int],
     the buckets' O(1) relink ``update``.  The common configuration —
     linked-list buckets, no boundary mode, no lookahead — takes the
     fully inlined :func:`_move_loop_csr_ll` below.
+
+    With decision recording live, the inlined loop is bypassed: it
+    replays exactly this loop's operation sequence (that is its
+    docstring contract), so routing through here records the identical
+    decisions while the hot path stays free of instrumentation.
     """
-    if (locked_counts is None and not config.boundary
+    rec = recorder()
+    if (not rec.enabled and locked_counts is None and not config.boundary
             and type(buckets) is LinkedListBuckets and buckets._lifo
             and state._active_nets
             is state.hg.csr.active_nets(config.max_net_size)):
         return _move_loop_csr_ll(state, buckets, gains, locked, config,
                                  areas, lower, upper)
+    rec_on = rec.enabled
+    cut_prev = state.cut_weight
     state._pass_best = None
     hg = state.hg
     view = hg.csr
@@ -385,6 +393,13 @@ def _move_loop_csr(state: PartitionState, buckets, gains: List[int],
 
         state.move(chosen, dst)
         moves.append((chosen, src))
+        if rec_on:
+            cut_rec = state.cut_weight
+            rec.emit({"t": "mv", "i": len(moves) - 1, "m": chosen,
+                      "s": src, "g": cut_prev - cut_rec,
+                      "bg": gains[chosen], "c": cut_rec,
+                      "a0": part_area[0]})
+            cut_prev = cut_rec
         if locked_counts is not None:
             bumped = locked_counts[dst]
             for e in incident:
@@ -807,6 +822,9 @@ def _move_loop_reference(state: PartitionState, buckets, gains: List[int],
     part_of = state.part_of
     counts = state.counts
     active = state.active
+    rec = recorder()
+    rec_on = rec.enabled
+    cut_prev = state.cut_weight
 
     moves: List[Tuple[int, int]] = []
     best_cut = state.cut_weight
@@ -886,6 +904,13 @@ def _move_loop_reference(state: PartitionState, buckets, gains: List[int],
 
         state.move(chosen, dst)
         moves.append((chosen, src))
+        if rec_on:
+            cut_rec = state.cut_weight
+            rec.emit({"t": "mv", "i": len(moves) - 1, "m": chosen,
+                      "s": src, "g": cut_prev - cut_rec,
+                      "bg": gains[chosen], "c": cut_rec,
+                      "a0": state.part_area[0]})
+            cut_prev = cut_rec
         if locked_counts is not None:
             bumped = locked_counts[dst]
             for e in hg.nets(chosen):
@@ -950,6 +975,8 @@ def fm_bipartition(hg: Hypergraph,
     tr = tracer()
     trace_on = tr.enabled
     mx = metrics()
+    rec = recorder()
+    rec_on = rec.enabled
     t_run = tr.begin() if trace_on else 0
     wall0 = time.perf_counter() if mx.enabled else 0.0
     if balance is None:
@@ -969,6 +996,10 @@ def fm_bipartition(hg: Hypergraph,
         repaired = (repair_balance(hg, initial, config, balance, fixed)
                     if np_batch else None)
         if repaired is not None:
+            if rec_on:
+                rec.emit({"t": "repair", "n": sum(
+                    1 for a, b in zip(initial.assignment,
+                                      repaired.assignment) if a != b)})
             initial = repaired
         else:
             movable = [not f for f in fixed] if fixed is not None else None
@@ -981,6 +1012,11 @@ def fm_bipartition(hg: Hypergraph,
         # Small netlists and lookahead configurations stay on the
         # sequential CSR pass below.
         initial_cut = cut(hg, initial)
+        if rec_on:
+            rec.emit({"t": "fm", "l": rec.level, "n": hg.num_modules,
+                      "mns": config.max_net_size, "np": 1,
+                      "clip": int(config.clip),
+                      "init": "".join(map(str, initial.assignment))})
         assignment, internal_cut, passes, total_moves, pass_cuts = \
             batch_refine(hg, initial, config, balance, fixed, tr)
         final = Partition(assignment, 2)
@@ -1014,6 +1050,11 @@ def fm_bipartition(hg: Hypergraph,
     use_csr = csr_enabled()
     active_list = _active_nets(hg, config.max_net_size)
     state = PartitionState(hg, initial, active_nets=active_list)
+    if rec_on:
+        rec.emit({"t": "fm", "l": rec.level, "n": hg.num_modules,
+                  "mns": config.max_net_size, "np": 0,
+                  "clip": int(config.clip), "c": state.cut_weight,
+                  "init": "".join(map(str, initial.assignment))})
     if use_csr:
         max_gain = hg.csr.max_weighted_degree(config.max_net_size)
     else:
@@ -1119,6 +1160,9 @@ def fm_bipartition(hg: Hypergraph,
             for v, original in reversed(moves[best_index:]):
                 state.move(v, original)
         pass_cuts.append(state.cut_weight)
+        if rec_on:
+            rec.emit({"t": "pass", "p": passes, "k": best_index,
+                      "mv": len(moves), "c": state.cut_weight})
 
         if trace_on:
             # Every counter here is a pure function of the (identical)

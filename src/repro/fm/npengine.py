@@ -50,6 +50,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..hypergraph import Hypergraph
+from ..obs import recorder
 from ..partition import BalanceConstraint, Partition
 from .config import FMConfig
 
@@ -279,6 +280,8 @@ def batch_refine(hg: Hypergraph, initial: Partition, config: FMConfig,
     rebalances, exactly as for the sequential engines).
     """
     trace_on = tr.enabled
+    rec = recorder()
+    rec_on = rec.enabled
     view = hg.csr.np
     threshold = config.max_net_size
     w_eff = view.effective_weights(threshold)
@@ -357,6 +360,10 @@ def batch_refine(hg: Hypergraph, initial: Partition, config: FMConfig,
                     area0 = area0 - to1_csum[k1] + to0_csum[k0]
                     committed += int(batch.size)
                     improved = True
+                    if rec_on:
+                        rec.emit({"t": "batch", "r": rounds,
+                                  "mods": batch.tolist(),
+                                  "c": cut_internal, "a0": float(area0)})
                     break
                 # The batch's interactions ate its summed gain: drop
                 # the lower-gain half of the larger direction.  A lone
@@ -393,6 +400,9 @@ def batch_refine(hg: Hypergraph, initial: Partition, config: FMConfig,
                              area0, lo, hi, locked, gains)
             if moved:
                 committed += len(moved)
+                if rec_on:
+                    rec.emit({"t": "polish", "mods": list(moved),
+                              "c": cut_internal, "a0": float(area0)})
                 mv = np.asarray(moved, dtype=np.int64)
                 aff = np.unique(
                     view.net_pins_of(np.unique(view.incident_nets(mv)[0]))[0])
@@ -405,6 +415,9 @@ def batch_refine(hg: Hypergraph, initial: Partition, config: FMConfig,
 
         pass_cuts.append(cut_internal)
         total_moves += committed
+        if rec_on:
+            rec.emit({"t": "pass", "p": passes, "k": committed,
+                      "mv": committed, "c": cut_internal, "np": 1})
         if trace_on:
             tr.complete("fm.pass", t_pass, {
                 "pass": passes,

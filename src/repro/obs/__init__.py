@@ -28,6 +28,17 @@ the telemetry a memory across runs:
   refinement-attribution analytics from the per-pass FM telemetry;
 * :mod:`repro.obs.report` — the markdown / HTML report
   (``repro report``).
+
+PR 10 adds the *decision* plane next to the timing plane:
+
+* :mod:`repro.obs.recorder` — the flight recorder: a compact JSONL
+  stream of every coarsening merge, FM/CLIP/batched move, and
+  pass/level boundary (``--record``, ``GET /record``);
+* :mod:`repro.obs.replay` — re-applies a recording against a fresh
+  ``PartitionState``, auditing the engines' incremental bookkeeping
+  and the final partition bit for bit;
+* :mod:`repro.obs.diffrun` — aligns two recordings and names the
+  first diverging decision (``repro diff-run``).
 """
 
 from .log import configure_logging, get_logger
@@ -45,10 +56,18 @@ from .trace import (BufferTracer, JsonlTraceWriter, NoopTracer, Tracer,
 from .ledger import (LEDGER_ENV, LEDGER_VERSION, append_entry, git_sha,
                      ledger_enabled, ledger_path, read_jsonl_objects,
                      read_ledger, record_result, stable_view)
+from .recorder import (BufferRecorder, JsonlRecordWriter, NoopRecorder,
+                       Recorder, group_starts, read_record, recorder,
+                       recording, set_recorder)
+from .replay import (ReplayError, ReplayReport, clustering_from_merges,
+                     replay_events, replay_recording)
+from .diffrun import (DiffReport, Divergence, diff_events,
+                      diff_recordings)
 from .compare import (Comparison, bootstrap_delta_ci, compare_sample_sets,
                       compare_samples, load_samples, sign_test)
-from .convergence import (ConvergenceReport, convergence_from_events,
-                          convergence_report)
+from .convergence import (ConvergenceReport, DecisionReport,
+                          convergence_from_events, convergence_report,
+                          decision_from_events, decision_report)
 from .report import build_report
 
 __all__ = [
@@ -69,5 +88,11 @@ __all__ = [
     "Comparison", "sign_test", "bootstrap_delta_ci", "compare_samples",
     "compare_sample_sets", "load_samples",
     "ConvergenceReport", "convergence_from_events", "convergence_report",
+    "DecisionReport", "decision_from_events", "decision_report",
     "build_report",
+    "recorder", "set_recorder", "recording", "Recorder", "NoopRecorder",
+    "BufferRecorder", "JsonlRecordWriter", "read_record", "group_starts",
+    "ReplayError", "ReplayReport", "clustering_from_merges",
+    "replay_events", "replay_recording",
+    "DiffReport", "Divergence", "diff_events", "diff_recordings",
 ]

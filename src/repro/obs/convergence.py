@@ -22,6 +22,17 @@ module reduces a trace to those shapes:
 All counters are pure functions of the move sequence, so the tables
 are identical under the reference and CSR kernel modes and stable for
 a fixed seed — golden-testable, and safe to diff across commits.
+
+The *decision* recordings of :mod:`repro.obs.recorder` enable a finer
+pair of views (``repro report --record``):
+
+* **gain distribution by pass** — a histogram of per-move cut gains
+  keyed by pass number, showing the paper's convergence claim at move
+  granularity: early passes are dominated by positive gains, later
+  passes churn around zero;
+* **cut vs move index** — the raw convergence curve: internal cut
+  after every decision, downsampled per start.  This is the curve
+  ``repro diff-run`` overlays for two recordings.
 """
 
 from __future__ import annotations
@@ -31,10 +42,17 @@ from dataclasses import dataclass, field
 from statistics import mean
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .metrics import Histogram
+from .recorder import group_starts, read_record
 from .trace import read_trace
 
 __all__ = ["ConvergenceReport", "convergence_from_events",
-           "convergence_report"]
+           "convergence_report", "DecisionReport",
+           "decision_from_events", "decision_report", "GAIN_BUCKETS"]
+
+#: Gain-histogram bucket upper bounds: FM gains are small signed ints,
+#: so a handful of buckets around zero resolves the whole shape.
+GAIN_BUCKETS = (-4.0, -1.0, 0.0, 1.0, 4.0)
 
 Row = Sequence[object]
 Table = Tuple[str, Sequence[str], List[Row]]
@@ -241,3 +259,127 @@ def convergence_report(path) -> ConvergenceReport:
     """Reduce the trace file at ``path`` to a
     :class:`ConvergenceReport`."""
     return convergence_from_events(read_trace(path))
+
+
+# -- decision-recording analytics ---------------------------------------
+
+def _bucket_labels(buckets: Sequence[float]) -> List[str]:
+    labels = []
+    lower = None
+    for upper in buckets:
+        left = "-inf" if lower is None else f"{lower:g}"
+        labels.append(f"({left},{upper:g}]")
+        lower = upper
+    labels.append(f"({lower:g},inf)")
+    return labels
+
+
+@dataclass
+class DecisionReport:
+    """The reduced decision-analytics view of one recording."""
+
+    events: int = 0
+    starts: int = 0
+    moves: int = 0
+    merges: int = 0
+    batches: int = 0
+    #: pass number -> histogram of that pass's per-move gains.
+    gain_hists: Dict[int, Histogram] = field(default_factory=dict)
+    #: start index -> full (decision ordinal, internal cut) curve.
+    curves: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+
+    def gain_table(self) -> Table:
+        labels = _bucket_labels(GAIN_BUCKETS)
+        rows: List[Row] = []
+        for number in sorted(self.gain_hists):
+            hist = self.gain_hists[number]
+            mean_gain = hist.sum / hist.count if hist.count else 0.0
+            rows.append([number, hist.count, round(mean_gain, 3),
+                         *hist.counts])
+        return ("Gain distribution by FM pass (all sequential moves)",
+                ["pass", "moves", "mean gain", *labels], rows)
+
+    def curve_table(self, points: int = 10) -> Table:
+        rows: List[Row] = []
+        for start in sorted(self.curves):
+            curve = self.curves[start]
+            if not curve:
+                continue
+            if len(curve) <= points:
+                sampled = curve
+            else:
+                step = (len(curve) - 1) / (points - 1)
+                sampled = [curve[round(i * step)] for i in range(points)]
+            for ordinal, cut in sampled:
+                rows.append([start, ordinal, cut])
+        return ("Cut vs decision ordinal (downsampled per start)",
+                ["start", "decision", "internal cut"], rows)
+
+    def tables(self) -> List[Table]:
+        out: List[Table] = []
+        if self.gain_hists:
+            out.append(self.gain_table())
+        if any(self.curves.values()):
+            out.append(self.curve_table())
+        return out
+
+    def render(self) -> str:
+        from ..harness.formatting import format_table
+        tables = self.tables()
+        if not tables:
+            return "no decision events in recording"
+        parts = [f"{self.events} events, {self.starts} start(s): "
+                 f"{self.moves} move(s), {self.merges} merge(s), "
+                 f"{self.batches} batch/polish commit(s)"]
+        for title, headers, rows in tables:
+            parts.append(format_table(headers, rows, title=title))
+        return "\n\n".join(parts)
+
+
+def decision_from_events(events) -> DecisionReport:
+    """Reduce a decision recording's events to a
+    :class:`DecisionReport`."""
+    report = DecisionReport()
+    for start, block in sorted(group_starts(events).items()):
+        report.starts += 1
+        current_pass = 1
+        ordinal = 0
+        curve: List[Tuple[int, int]] = []
+        for ev in block:
+            report.events += 1
+            t = ev.get("t")
+            if t == "fm":
+                current_pass = 1
+            elif t == "pass":
+                p = ev.get("p")
+                current_pass = (p + 1 if isinstance(p, int)
+                                else current_pass + 1)
+            elif t == "merge":
+                report.merges += 1
+            elif t == "mv":
+                report.moves += 1
+                gain = ev.get("g")
+                if isinstance(gain, (int, float)):
+                    hist = report.gain_hists.get(current_pass)
+                    if hist is None:
+                        hist = report.gain_hists[current_pass] = \
+                            Histogram(GAIN_BUCKETS)
+                    hist.observe(gain)
+                cut = ev.get("c")
+                if isinstance(cut, int):
+                    curve.append((ordinal, cut))
+                ordinal += 1
+            elif t in ("batch", "polish"):
+                report.batches += 1
+                cut = ev.get("c")
+                if isinstance(cut, int):
+                    curve.append((ordinal, cut))
+                ordinal += 1
+        report.curves[start] = curve
+    return report
+
+
+def decision_report(path) -> DecisionReport:
+    """Reduce the recording file at ``path`` to a
+    :class:`DecisionReport`."""
+    return decision_from_events(read_record(path))

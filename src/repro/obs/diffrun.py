@@ -1,0 +1,242 @@
+"""``repro diff-run``: align two recordings, explain the divergence.
+
+Given two decision recordings of the *same circuit* — csr vs numpy
+kernels, seed vs seed, or before/after a code change — this module
+answers the question the hand-pinned golden cuts cannot: **which
+decision diverged first, and in what context?**
+
+Alignment rules (DESIGN.md §16 is normative):
+
+1. Recordings are grouped into per-start blocks (``start`` headers;
+   a headerless library recording is one anonymous start) and aligned
+   start-by-start on the start index — a parallel executor may write
+   blocks in completion order, so file order is never compared.
+2. Within a start, only *decision* events participate in alignment:
+   ``merge``, ``mv``, ``batch``, ``polish``.  Structural markers
+   (``level``, ``fm``, ``pass``…) provide context but cannot diverge
+   on their own — a differing structure always follows a differing
+   decision (or a differing event *count*, reported as exhaustion).
+3. Two decision events at the same ordinal match when their type and
+   decision key agree: ``(v, w)`` for a merge, ``(m, s, c)`` for a
+   move, ``(mods, c)`` for a batch/polish commit.  Consequence fields
+   with float arithmetic (``a0``) are excluded — reassociated sums may
+   differ harmlessly across kernel families.
+4. The first mismatching ordinal is *the* divergence; everything after
+   it is cascade.  Its report carries the local context of both
+   streams: the enclosing level / refinement block / pass, and a
+   window of surrounding raw events (where tie handling, the balance
+   clip, or the plateau rule can be read off directly).
+
+On top of the first-divergence report, :func:`diff_recordings` builds
+each stream's **cut-vs-move curve** (cumulative decision ordinal
+against recorded cut) so the *consequence* of the divergence is
+visible: two curves that split at the divergence ordinal and re-join
+near the end mean different paths to equal quality; a persistent gap
+means one family genuinely refines better on this input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .recorder import DECISION_EVENTS, group_starts, read_record
+
+__all__ = ["Divergence", "DiffReport", "diff_events", "diff_recordings"]
+
+#: Raw events shown on each side of a divergence.
+_CONTEXT_WINDOW = 3
+
+
+def _decision_key(ev: Dict[str, object]):
+    t = ev.get("t")
+    if t == "merge":
+        return ("merge", ev.get("v"), ev.get("w"))
+    if t == "mv":
+        return ("mv", ev.get("m"), ev.get("s"), ev.get("c"))
+    if t in ("batch", "polish"):
+        return (t, tuple(ev.get("mods") or ()), ev.get("c"))
+    return (t,)
+
+
+@dataclass
+class _Cursor:
+    """Walk of one stream: decision events with their structural
+    context and raw positions."""
+
+    decisions: List[Tuple[int, Dict[str, object]]] = \
+        field(default_factory=list)
+    context: List[Optional[Dict[str, object]]] = field(default_factory=list)
+    curve: List[Tuple[int, int]] = field(default_factory=list)
+
+    @classmethod
+    def scan(cls, events: Sequence[Dict[str, object]]) -> "_Cursor":
+        cur = cls()
+        fm: Optional[Dict[str, object]] = None
+        ordinal = 0
+        for pos, ev in enumerate(events):
+            t = ev.get("t")
+            if t == "fm":
+                fm = ev
+            if t in DECISION_EVENTS:
+                cur.decisions.append((pos, ev))
+                cur.context.append(fm)
+                if isinstance(ev.get("c"), int):
+                    cur.curve.append((ordinal, ev["c"]))
+                ordinal += 1
+        return cur
+
+
+def _strip_init(ev: Optional[Dict[str, object]]):
+    if ev is None:
+        return None
+    out = dict(ev)
+    init = out.pop("init", None)
+    if isinstance(init, str):
+        out["modules"] = len(init)
+    return out
+
+
+@dataclass
+class Divergence:
+    """The first diverging decision of one aligned start pair."""
+
+    start: int
+    ordinal: int                       #: decision ordinal within the start
+    a: Optional[Dict[str, object]]     #: diverging event of stream A
+    b: Optional[Dict[str, object]]     #: ``None``: stream exhausted
+    block_a: Optional[Dict[str, object]] = None   #: enclosing fm event
+    block_b: Optional[Dict[str, object]] = None
+    window_a: List[Dict[str, object]] = field(default_factory=list)
+    window_b: List[Dict[str, object]] = field(default_factory=list)
+
+    def describe(self) -> str:
+        if self.a is None or self.b is None:
+            side = "A" if self.a is None else "B"
+            return (f"start {self.start}: stream {side} ends after "
+                    f"{self.ordinal} decisions; the other continues")
+        ta, tb = self.a.get("t"), self.b.get("t")
+        if ta != tb:
+            return (f"start {self.start}, decision {self.ordinal}: "
+                    f"event kind diverges — A has {ta!r}, B has {tb!r} "
+                    f"(sequential vs batched refinement fork)")
+        return (f"start {self.start}, decision {self.ordinal}: "
+                f"{ta} decisions differ — A {self.a} vs B {self.b}")
+
+
+@dataclass
+class DiffReport:
+    """Outcome of aligning two recordings."""
+
+    starts_compared: int = 0
+    starts_only_a: List[int] = field(default_factory=list)
+    starts_only_b: List[int] = field(default_factory=list)
+    decisions_compared: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+    #: per diverging start: (ordinal, cut) curves of both streams.
+    curves: Dict[int, Dict[str, List[Tuple[int, int]]]] = \
+        field(default_factory=dict)
+
+    @property
+    def identical(self) -> bool:
+        return (not self.divergences and not self.starts_only_a
+                and not self.starts_only_b)
+
+    def first(self) -> Optional[Divergence]:
+        return self.divergences[0] if self.divergences else None
+
+    # -- rendering -------------------------------------------------------
+
+    @staticmethod
+    def _curve_rows(curve: List[Tuple[int, int]],
+                    points: int = 12) -> List[Tuple[int, int]]:
+        if len(curve) <= points:
+            return curve
+        step = (len(curve) - 1) / (points - 1)
+        return [curve[round(i * step)] for i in range(points)]
+
+    def render(self) -> str:
+        lines = [f"{self.starts_compared} start(s) aligned, "
+                 f"{self.decisions_compared} decision(s) compared"]
+        for side, extra in (("A", self.starts_only_a),
+                            ("B", self.starts_only_b)):
+            if extra:
+                lines.append(f"start(s) only in {side}: "
+                             f"{sorted(extra)}")
+        if self.identical:
+            lines.append("recordings are decision-identical")
+            return "\n".join(lines)
+        for div in self.divergences:
+            lines.append("")
+            lines.append(f"first divergence — {div.describe()}")
+            for name, block in (("A", div.block_a), ("B", div.block_b)):
+                if block is not None:
+                    lines.append(f"  {name} context: refinement block "
+                                 f"{_strip_init(block)}")
+            for name, window in (("A", div.window_a), ("B", div.window_b)):
+                if window:
+                    lines.append(f"  {name} events around divergence:")
+                    lines.extend(f"    {e}" for e in window)
+            curves = self.curves.get(div.start)
+            if curves:
+                lines.append("  cut vs decision ordinal "
+                             "(divergence at "
+                             f"ordinal {div.ordinal}):")
+                for name in ("a", "b"):
+                    rows = self._curve_rows(curves[name])
+                    lines.append(
+                        f"    {name.upper()}: "
+                        + " ".join(f"{o}:{c}" for o, c in rows))
+        return "\n".join(lines)
+
+
+def diff_events(events_a, events_b) -> DiffReport:
+    """Align two recordings' events (see module docstring for rules)."""
+    blocks_a = group_starts(events_a)
+    blocks_b = group_starts(events_b)
+    report = DiffReport()
+    report.starts_only_a = sorted(set(blocks_a) - set(blocks_b))
+    report.starts_only_b = sorted(set(blocks_b) - set(blocks_a))
+    for index in sorted(set(blocks_a) & set(blocks_b)):
+        report.starts_compared += 1
+        seq_a = blocks_a[index]
+        seq_b = blocks_b[index]
+        cur_a = _Cursor.scan(seq_a)
+        cur_b = _Cursor.scan(seq_b)
+        n = min(len(cur_a.decisions), len(cur_b.decisions))
+        divergence = None
+        for k in range(n):
+            pos_a, ev_a = cur_a.decisions[k]
+            pos_b, ev_b = cur_b.decisions[k]
+            report.decisions_compared += 1
+            if _decision_key(ev_a) != _decision_key(ev_b):
+                divergence = Divergence(
+                    start=index, ordinal=k, a=ev_a, b=ev_b,
+                    block_a=cur_a.context[k], block_b=cur_b.context[k],
+                    window_a=seq_a[max(0, pos_a - _CONTEXT_WINDOW):
+                                   pos_a + _CONTEXT_WINDOW + 1],
+                    window_b=seq_b[max(0, pos_b - _CONTEXT_WINDOW):
+                                   pos_b + _CONTEXT_WINDOW + 1])
+                break
+        if divergence is None and \
+                len(cur_a.decisions) != len(cur_b.decisions):
+            longer = cur_a if len(cur_a.decisions) > n else cur_b
+            pos, ev = longer.decisions[n]
+            divergence = Divergence(
+                start=index, ordinal=n,
+                a=None if longer is cur_b else ev,
+                b=None if longer is cur_a else ev,
+                block_a=cur_a.context[n] if longer is cur_a else None,
+                block_b=cur_b.context[n] if longer is cur_b else None)
+        if divergence is not None:
+            report.divergences.append(divergence)
+            report.curves[index] = {"a": cur_a.curve, "b": cur_b.curve}
+    return report
+
+
+def diff_recordings(path_a: Union[str, Path],
+                    path_b: Union[str, Path]) -> DiffReport:
+    """Align the two recording files and report the first divergence."""
+    return diff_events(list(read_record(path_a)),
+                       list(read_record(path_b)))

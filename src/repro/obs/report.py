@@ -11,7 +11,10 @@ report a human actually reads after a sweep:
   shown instead of a raw percent delta;
 * **Convergence** — when a trace file is given, the cut-vs-pass and
   per-level refinement-attribution tables from
-  :mod:`repro.obs.convergence`.
+  :mod:`repro.obs.convergence`;
+* **Decision analytics** — when a decision recording (``--record``)
+  is given, the per-pass gain-distribution histogram and the
+  cut-vs-move convergence curve.
 
 Rendering reuses :mod:`repro.harness.formatting` — the same table
 builder the paper-table harness uses — in its markdown and HTML
@@ -24,7 +27,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .compare import compare_samples
-from .convergence import convergence_report
+from .convergence import convergence_report, decision_report
 from .ledger import ledger_path, read_ledger
 
 __all__ = ["build_report", "REPORT_FORMATS"]
@@ -98,11 +101,13 @@ def _runs_tables(entries: List[Dict[str, object]]) -> List[Table]:
 def build_report(ledger: Union[str, Path, None] = None,
                  trace: Union[str, Path, None] = None,
                  fmt: str = "markdown",
-                 last: int = 50) -> str:
+                 last: int = 50,
+                 record: Union[str, Path, None] = None) -> str:
     """Assemble the report text.
 
     ``ledger`` defaults to the active ledger; ``last`` bounds how many
     trailing entries are read (a long-lived ledger can hold thousands).
+    ``record`` adds decision analytics from a recording file.
     """
     if fmt not in REPORT_FORMATS:
         raise ValueError(f"format must be one of {REPORT_FORMATS}, "
@@ -136,6 +141,17 @@ def build_report(ledger: Union[str, Path, None] = None,
             tables.extend(conv_tables)
         else:
             notes.append(f"no convergence telemetry in `{trace}`.")
+    if record is not None:
+        decisions = decision_report(record)
+        dec_tables = decisions.tables()
+        if dec_tables:
+            notes.append(f"decision analytics from `{record}`: "
+                         f"{decisions.starts} start(s), "
+                         f"{decisions.moves} move(s), "
+                         f"{decisions.merges} merge(s).")
+            tables.extend(dec_tables)
+        else:
+            notes.append(f"no decision events in `{record}`.")
 
     if fmt == "markdown":
         parts = ["# repro performance report", ""]

@@ -51,9 +51,10 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ConfigError, ReproError
 from ..faults import FaultInjector
-from ..obs import (BufferTracer, MetricsRegistry, get_logger, metrics,
-                   record_result, set_metrics, set_tracer, tracer,
-                   trace_scope, tracing)
+from ..obs import (BufferRecorder, BufferTracer, MetricsRegistry,
+                   get_logger, metrics, record_result, recorder,
+                   recording, set_metrics, set_recorder, set_tracer,
+                   tracer, trace_scope, tracing)
 from ..obs.profile import memory_peak
 from .job import Job, Portfolio
 from .records import (PortfolioResult, RunRecord,
@@ -132,8 +133,10 @@ def _execute_start(portfolio: Portfolio, index: int, seed: int,
     """
     tr = tracer()
     mx = metrics()
+    rc = recorder()
     buffer = parent_tracer = None
     registry = parent_metrics = None
+    rec_buffer = parent_recorder = None
     if in_worker and tr.enabled:
         buffer = BufferTracer()
         parent_tracer = set_tracer(buffer)
@@ -142,6 +145,17 @@ def _execute_start(portfolio: Portfolio, index: int, seed: int,
         registry = MetricsRegistry()
         parent_metrics = set_metrics(registry)
         mx = registry
+    if in_worker and rc.enabled:
+        # Decisions buffer per start like trace events do: the real
+        # writer's file handle must not be shared across the fork, and
+        # buffering keeps each start's block contiguous in the file.
+        rec_buffer = BufferRecorder()
+        parent_recorder = set_recorder(rec_buffer)
+        rc = rec_buffer
+    if rc.enabled:
+        from ..kernels import kernel_mode
+        rc.emit({"t": "start", "i": index, "seed": seed,
+                 "mode": kernel_mode(), "alg": portfolio.name})
     # Request-scoped correlation: every event below (this function's
     # spans and everything portfolio.fn emits) carries the portfolio's
     # trace_id.  Entered by hand because the exits interleave with the
@@ -171,6 +185,16 @@ def _execute_start(portfolio: Portfolio, index: int, seed: int,
                 "index": index, "attempt": attempt,
                 "kind": str(corrupting)})
         result = portfolio.fn(portfolio.hg, seed)
+        partition = getattr(result, "partition", None)
+        if rc.enabled and partition is not None:
+            # Footer records what the algorithm computed — before any
+            # injected corruption, which is a downstream fault, not a
+            # decision.  The replay engine re-measures this cut and
+            # matches the assignment bit for bit.
+            rc.emit({"t": "result", "i": index, "cut": result.cut,
+                     "assign": "".join(
+                         "1" if side else "0"
+                         for side in partition.assignment)})
         if corrupting is not None:
             result = injector.corrupt(corrupting, index, attempt,
                                       portfolio.hg, result)
@@ -222,6 +246,9 @@ def _execute_start(portfolio: Portfolio, index: int, seed: int,
     if registry is not None:
         set_metrics(parent_metrics)
         record.metrics_snapshot = registry.snapshot()
+    if rec_buffer is not None:
+        set_recorder(parent_recorder)
+        record.record_events = rec_buffer.drain()
     return record
 
 
@@ -330,6 +357,29 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
+def _pool_worker_init() -> None:
+    """Restore default signal handling in a freshly forked pool worker.
+
+    The service daemon's asyncio loop installs ``SIGTERM``/``SIGINT``
+    handlers and a signal wakeup fd, both of which survive the fork.  A
+    worker that keeps them swallows the ``SIGTERM`` that
+    ``Pool.terminate()`` sends (the handler only writes to the parent's
+    wakeup pipe), so pool shutdown blocks forever — observed as the
+    daemon wedging on its second request with ``--jobs 2``.  Cheap and
+    harmless when the parent never touched signals.
+    """
+    import signal
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
+
+
 def _pool_run(task: Tuple[int, int, int]) -> RunRecord:
     index, seed, attempt = task
     assert _ACTIVE is not None, "worker forked without an active portfolio"
@@ -380,7 +430,8 @@ class ProcessExecutor:
             started: Dict[Tuple[int, int], int] = {}
             timed_out = False
             try:
-                with context.Pool(processes=self.jobs) as pool:
+                with context.Pool(processes=self.jobs,
+                                  initializer=_pool_worker_init) as pool:
                     while pending:
                         inflight = [(task,
                                      pool.apply_async(_pool_run, (task,)))
@@ -442,6 +493,16 @@ class ProcessExecutor:
             if mx.enabled:
                 mx.merge(record.metrics_snapshot)
         record.metrics_snapshot = None
+        if record.record_events:
+            rc = recorder()
+            if rc.enabled:
+                emit_block = getattr(rc, "emit_block", None)
+                if emit_block is not None:
+                    emit_block(record.record_events)
+                else:
+                    for event in record.record_events:
+                        rc.emit(event)
+        record.record_events = None
 
     @staticmethod
     def _drain_notices(started: Dict[Tuple[int, int], int]) -> None:
@@ -574,19 +635,24 @@ def execute(portfolio: Portfolio, jobs: int = 1, executor=None,
 
     When ``portfolio.trace`` is a path, the whole run — worker events
     included — is written there as a Chrome trace-event stream and the
-    previous ambient tracer is restored afterwards.
+    previous ambient tracer is restored afterwards.  ``portfolio.record``
+    behaves the same way for the decision recording
+    (:mod:`repro.obs.recorder`).
 
     Every completed execution is recorded in the run ledger
     (:mod:`repro.obs.ledger`) unless ``REPRO_LEDGER=off``; when a trace
     file was written, its per-phase rollup rides along in the entry.
     """
+    from contextlib import ExitStack
     runner = get_executor(jobs, executor)
     trace_path = portfolio.trace if isinstance(portfolio.trace, str) else None
-    if trace_path is not None:
-        with tracing(trace_path):
-            result = runner.run(portfolio, completed=completed,
-                                on_record=on_record)
-    else:
+    record_path = (portfolio.record
+                   if isinstance(portfolio.record, str) else None)
+    with ExitStack() as sinks:
+        if trace_path is not None:
+            sinks.enter_context(tracing(trace_path))
+        if record_path is not None:
+            sinks.enter_context(recording(record_path))
         result = runner.run(portfolio, completed=completed,
                             on_record=on_record)
     # After the tracing context closes, so phase rollups read a

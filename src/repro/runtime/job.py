@@ -107,6 +107,14 @@ class Portfolio:
     backoff_seconds: float = 0.0
     backoff_cap: float = 30.0
     trace: Union[None, bool, str] = None
+    #: Decision recording for this portfolio, with the same shape as
+    #: ``trace``: ``None``/``False`` leaves the ambient recorder alone,
+    #: ``True`` emits into whatever recorder is ambient, and a path
+    #: string writes the run's decision stream — per-start blocks
+    #: shipped back from worker processes included — to that file (see
+    #: :mod:`repro.obs.recorder`).  Like tracing, recording never
+    #: touches the RNG streams: same seed, same cuts, on or off.
+    record: Union[None, bool, str] = None
     #: Correlation ID for request-scoped tracing.  When set, every span
     #: and instant this portfolio's execution emits — in the parent or
     #: shipped back from forked workers — carries ``trace_id`` in its
@@ -148,6 +156,11 @@ class Portfolio:
             raise ConfigError(
                 f"trace must be None, a bool, or a path string, "
                 f"got {type(self.trace).__name__}")
+        if self.record is not None and \
+                not isinstance(self.record, (bool, str)):
+            raise ConfigError(
+                f"record must be None, a bool, or a path string, "
+                f"got {type(self.record).__name__}")
         if self.trace_id is not None and not isinstance(self.trace_id, str):
             raise ConfigError(
                 f"trace_id must be None or a string, "

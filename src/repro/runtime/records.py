@@ -99,6 +99,11 @@ class RunRecord:
     trace_events: Optional[List[Dict[str, object]]] = None
     #: Same transport for a worker's metrics-registry snapshot.
     metrics_snapshot: Optional[Dict[str, object]] = None
+    #: Same transport for a worker's decision recording: the start's
+    #: buffered recorder events, re-emitted by the parent as one
+    #: contiguous block so recordings stay seed-stable modulo
+    #: start-block order.
+    record_events: Optional[List[Dict[str, object]]] = None
     #: Peak tracemalloc bytes over this start, captured only when
     #: memory profiling is enabled (``repro serve --profile-dir`` or
     #: :func:`repro.obs.profile.enable_memory_profiling`).  Not part of

@@ -286,3 +286,13 @@ class ServiceClient:
             raise ServiceError(f"/trace/{run_id}: HTTP {response.status}",
                                status=response.status)
         return raw
+
+    def record(self, run_id: str) -> bytes:
+        """Download a request's decision recording
+        (``"record": true`` in the partition body)."""
+        response = self._request("GET", f"/record/{run_id}")
+        raw = response.read()
+        if response.status >= 400:
+            raise ServiceError(f"/record/{run_id}: HTTP {response.status}",
+                               status=response.status)
+        return raw

@@ -99,6 +99,10 @@ class PendingRun:
     #: (traced requests need their own portfolio).
     batch_key: Optional[str] = None
     trace_path: Optional[str] = None
+    #: Spool path of the request's decision recording (``GET
+    #: /record/<id>``); like ``trace_path``, set only for runs that
+    #: bypass cache/batching so the file covers a real execution.
+    record_path: Optional[str] = None
     queued_at: float = field(default_factory=time.monotonic)
     #: Absolute monotonic instant past which this request's answer is
     #: worthless; ``None`` means no deadline.
@@ -331,6 +335,7 @@ class ServiceEngine:
         self.started_at = time.time()
         self._spool_dir = spool_dir
         self._traces: Dict[str, str] = {}
+        self._records: Dict[str, str] = {}
         self._ids = itertools.count(1)
         self._counters = {name: 0 for name in _COUNTERS}
         self._counter_lock = threading.Lock()
@@ -370,9 +375,10 @@ class ServiceEngine:
         deadline_at = (None if deadline_ms is None
                        else time.monotonic() + deadline_ms / 1000.0)
         key = request.request_key()
-        if request.trace:
-            # Traced requests always execute (the trace file is the
-            # point) and never join a batch or populate the cache.
+        if request.trace or request.record:
+            # Traced/recorded requests always execute (the telemetry
+            # file is the point) and never join a batch or populate
+            # the cache.
             out = dict(await self._with_deadline(
                 self._submit(request, key, deadline_at, traced=True,
                              request_id=request_id, trace_id=trace_id),
@@ -473,7 +479,10 @@ class ServiceEngine:
             id=run_id, request=request, key=key,
             future=asyncio.get_running_loop().create_future(),
             batch_key=None if traced else request.batch_key(),
-            trace_path=self._trace_path(run_id) if traced else None,
+            trace_path=(self._trace_path(run_id)
+                        if traced and request.trace else None),
+            record_path=(self._record_path(run_id)
+                         if traced and request.record else None),
             deadline_at=deadline_at,
             request_id=request_id, trace_id=trace_id)
         return await self.lane.submit(run)
@@ -633,6 +642,7 @@ class ServiceEngine:
         portfolio = Portfolio(algorithm=algorithm, hg=hg,
                               runs=request.runs, seed=request.seed,
                               keep_results=True, trace=run.trace_path,
+                              record=run.record_path,
                               retries=self.retries, faults=self.faults,
                               deadline_seconds=self._deadline_seconds([run]),
                               trace_id=run.effective_trace_id)
@@ -641,6 +651,8 @@ class ServiceEngine:
         self._count("executed_starts", result.runs)
         if run.trace_path is not None:
             self._traces[run.id] = run.trace_path
+        if run.record_path is not None:
+            self._records[run.id] = run.record_path
         return self._payload(run, result, hg)
 
     def _run_degraded(self, run: PendingRun, hg) -> dict:
@@ -661,6 +673,7 @@ class ServiceEngine:
         portfolio = Portfolio(algorithm=algorithm, hg=hg,
                               runs=1, seed=request.seed,
                               keep_results=True, trace=run.trace_path,
+                              record=run.record_path,
                               deadline_seconds=self._deadline_seconds([run]),
                               trace_id=run.effective_trace_id)
         set_kernel_mode(cheap)
@@ -673,6 +686,8 @@ class ServiceEngine:
         self._count("degraded_served")
         if run.trace_path is not None:
             self._traces[run.id] = run.trace_path
+        if run.record_path is not None:
+            self._records[run.id] = run.record_path
         payload = self._payload(run, result, hg)
         payload["degraded"] = True
         payload["degraded_reason"] = "breaker_open"
@@ -793,9 +808,11 @@ class ServiceEngine:
             payload["assignment"] = list(partition.assignment)
         if run.trace_path is not None:
             payload["trace"] = f"/trace/{run.id}"
+        if run.record_path is not None:
+            payload["record"] = f"/record/{run.id}"
         return payload
 
-    # -- traces --------------------------------------------------------
+    # -- traces and recordings -----------------------------------------
 
     def _trace_path(self, run_id: str) -> str:
         if self._spool_dir is None:
@@ -808,6 +825,20 @@ class ServiceEngine:
         path = self._traces.get(run_id)
         if path is None or not os.path.exists(path):
             raise ProtocolError(f"no trace for run {run_id!r}", status=404)
+        return Path(path)
+
+    def _record_path(self, run_id: str) -> str:
+        if self._spool_dir is None:
+            self._spool_dir = tempfile.mkdtemp(prefix="repro-serve-")
+        else:
+            os.makedirs(self._spool_dir, exist_ok=True)
+        return os.path.join(self._spool_dir, f"{run_id}.record.jsonl")
+
+    def record_file(self, run_id: str) -> Path:
+        path = self._records.get(run_id)
+        if path is None or not os.path.exists(path):
+            raise ProtocolError(f"no recording for run {run_id!r}",
+                                status=404)
         return Path(path)
 
     # -- accounting ----------------------------------------------------

@@ -255,6 +255,11 @@ class PartitionRequest:
     hierarchy_seed: int = 0
     include_assignment: bool = False
     trace: bool = False
+    #: Decision recording for this request (``GET /record/<id>`` serves
+    #: the file).  Like ``trace``, a scheduling/observability knob:
+    #: never part of the request key, and recorded requests bypass the
+    #: cache and the batcher so the recording covers a real execution.
+    record: bool = False
     #: Per-request wall-clock deadline in milliseconds; ``None`` means
     #: the server default applies.  Like the other scheduling knobs it
     #: never reaches the request key: a *complete* result is
@@ -264,7 +269,7 @@ class PartitionRequest:
 
     _FIELDS = ("netlist", "algorithm", "k", "ratio", "threshold",
                "tolerance", "runs", "seed", "vcycles", "descents", "mode",
-               "hierarchy_seed", "include_assignment", "trace",
+               "hierarchy_seed", "include_assignment", "trace", "record",
                "deadline_ms")
 
     @classmethod
@@ -290,6 +295,7 @@ class PartitionRequest:
             include_assignment=_typed(data, "include_assignment", bool,
                                       False),
             trace=_typed(data, "trace", bool, False),
+            record=_typed(data, "record", bool, False),
             deadline_ms=_typed(data, "deadline_ms", int, None),
         )
         _require(request.algorithm in ALGORITHMS,

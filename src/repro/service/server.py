@@ -545,6 +545,11 @@ class PartitionServer:
             run_id = path[len("/trace/"):]
             data = self.engine.trace_file(run_id).read_bytes()
             return 200, data, "application/jsonl"
+        if path.startswith("/record/"):
+            self._expect(method, "GET")
+            run_id = path[len("/record/"):]
+            data = self.engine.record_file(run_id).read_bytes()
+            return 200, data, "application/jsonl"
         raise ProtocolError(f"no such endpoint {path!r}", status=404)
 
     @staticmethod
